@@ -1,0 +1,10 @@
+"""Extra ablation: decode latency vs the fraction of heads converted to streaming heads."""
+
+from repro.bench import ablation_head_ratio
+
+
+def test_ablation_head_ratio(benchmark, report):
+    table = benchmark.pedantic(ablation_head_ratio, rounds=1, iterations=1)
+    report(table, "ablation_head_ratio")
+    speedups = table.column("speedup vs ratio 0")
+    assert speedups == sorted(speedups)  # more streaming heads, faster decode

@@ -1,0 +1,10 @@
+"""Figure 2: latency breakdown of LLM prefilling and decoding vs input length."""
+
+from repro.bench import fig02_latency_breakdown
+
+
+def test_fig02_latency_breakdown(benchmark, report):
+    table = benchmark.pedantic(fig02_latency_breakdown, rounds=1, iterations=1)
+    report(table, "fig02_latency_breakdown")
+    attention = [v for stage, v in zip(table.column("stage"), table.column("attention frac")) if stage == "prefill"]
+    assert attention[-1] > 0.5  # attention dominates prefill at 128K

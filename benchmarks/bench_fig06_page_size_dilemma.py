@@ -1,0 +1,11 @@
+"""Figure 6: NIAH accuracy collapse of flat (Quest-style) selection at large page sizes."""
+
+from repro.bench import fig06_page_size_dilemma
+
+
+def test_fig06_page_size_dilemma(benchmark, report):
+    table = benchmark.pedantic(fig06_page_size_dilemma, rounds=1, iterations=1)
+    report(table, "fig06_page_size_dilemma")
+    averages = dict(zip(table.column("configuration"), table.column("average")))
+    assert averages["page 16, budget 2048"] > averages["page 64, budget 2048"] + 0.1
+    assert averages["dense attention"] == 1.0

@@ -1,0 +1,11 @@
+"""Figure 9: Needle-in-a-Haystack accuracy, dense vs LServe."""
+
+from repro.bench import fig09_niah
+
+
+def test_fig09_niah(benchmark, report):
+    table = benchmark.pedantic(fig09_niah, rounds=1, iterations=1)
+    report(table, "fig09_niah")
+    averages = dict(zip(table.column("system"), table.column("average")))
+    assert averages["LServe"] > 0.95
+    assert averages["Dense"] == 1.0

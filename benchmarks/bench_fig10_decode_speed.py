@@ -1,0 +1,14 @@
+"""Figure 10: decoding speed against vLLM / QServe / MInference / DuoAttention."""
+
+from repro.bench import fig10_decode_speed
+
+
+def test_fig10_decode_speed(benchmark, report):
+    tables = benchmark.pedantic(fig10_decode_speed, rounds=1, iterations=1)
+    report(tables, "fig10_decode_speed")
+    for table in tables:
+        rows = {row[0]: row for row in table.rows}
+        assert rows["LServe"][-1] == 1.0 or abs(rows["LServe"][-1] - 1.0) < 1e-9
+        # Every baseline is slower than LServe on (geomean) average.
+        for name in ("vLLM", "QServe", "MInference", "DuoAttention"):
+            assert rows[name][-1] < 1.0

@@ -1,0 +1,14 @@
+"""Figure 11: prefilling speed against baseline serving frameworks."""
+
+from repro.bench import fig11_prefill_speed
+
+
+def test_fig11_prefill_speed(benchmark, report):
+    tables = benchmark.pedantic(fig11_prefill_speed, rounds=1, iterations=1)
+    report(tables, "fig11_prefill_speed")
+    for table in tables:
+        rows = {row[0]: row for row in table.rows}
+        assert rows["vLLM"][-1] < 1.0
+        assert rows["DuoAttention"][-1] < 1.0
+        # MInference is the closest competitor at prefill.
+        assert rows["MInference"][-1] > rows["vLLM"][-1]

@@ -1,0 +1,12 @@
+"""Figure 12: prefill-stage sparse attention kernel latency vs sparsity level."""
+
+from repro.bench import fig12_prefill_kernel
+
+
+def test_fig12_prefill_kernel(benchmark, report):
+    table = benchmark.pedantic(fig12_prefill_kernel, rounds=1, iterations=1)
+    report(table, "fig12_prefill_kernel")
+    for row in table.rows:
+        sparsity, minference, lserve, oracle, ratio = row
+        assert oracle <= lserve <= minference  # LServe sits between oracle and MInference
+        assert 1.1 < ratio < 1.6  # paper: consistently ~1.3x faster than MInference

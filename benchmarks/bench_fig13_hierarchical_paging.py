@@ -1,0 +1,11 @@
+"""Figure 13: hierarchical paging preserves NIAH accuracy at large physical pages."""
+
+from repro.bench import fig13_hierarchical_paging
+
+
+def test_fig13_hierarchical_paging(benchmark, report):
+    table = benchmark.pedantic(fig13_hierarchical_paging, rounds=1, iterations=1)
+    report(table, "fig13_hierarchical_paging")
+    averages = dict(zip(table.column("configuration"), table.column("average")))
+    assert averages["NP=64, NL=16"] > 0.95
+    assert averages["NP=64, NL=16"] > averages["flat NP=64 (Quest)"] + 0.1

@@ -1,0 +1,12 @@
+"""Figure 14: page-selector overhead and the effect of reusable page selection."""
+
+from repro.bench import fig14_selector_overhead
+
+
+def test_fig14_selector_overhead(benchmark, report):
+    table = benchmark.pedantic(fig14_selector_overhead, rounds=1, iterations=1)
+    report(table, "fig14_selector_overhead")
+    last = table.rows[-1]
+    context, attention, vanilla, reusable = last
+    assert vanilla > attention  # the vanilla selector becomes the bottleneck at long contexts
+    assert abs(vanilla / reusable - 4.0) < 1e-6  # reuse interval 4 cuts it by 4x

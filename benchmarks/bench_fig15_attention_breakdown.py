@@ -1,0 +1,15 @@
+"""Figure 15: decode attention latency under static, dynamic and combined sparsity."""
+
+from repro.bench import fig15_attention_breakdown
+
+
+def test_fig15_attention_breakdown(benchmark, report):
+    table = benchmark.pedantic(fig15_attention_breakdown, rounds=1, iterations=1)
+    report(table, "fig15_attention_breakdown")
+    longest = table.rows[-1]
+    context, dense, static, dynamic, both = longest
+    assert static < dense  # static sparsity halves the long-context cost
+    assert dynamic < static  # dynamic sparsity bounds it by the token budget
+    assert both <= dynamic  # combining them compounds
+    shortest = table.rows[0]
+    assert shortest[2] < shortest[1]  # static sparsity already helps at 4K

@@ -1,0 +1,13 @@
+"""Figure 16: end-to-end decode speedup breakdown of LServe's optimisations."""
+
+from repro.bench import fig16_e2e_breakdown
+
+
+def test_fig16_e2e_breakdown(benchmark, report):
+    table = benchmark.pedantic(fig16_e2e_breakdown, rounds=1, iterations=1)
+    report(table, "fig16_e2e_breakdown")
+    longest = table.rows[-1]
+    context, dense, static, dynamic, lserve = longest
+    assert lserve == 1.0
+    assert dense < static < 1.0 + 1e-9  # each optimisation recovers part of the gap
+    assert dense < dynamic <= 1.0 + 1e-9

@@ -1,0 +1,11 @@
+"""Functional kernel check: block skipping reduces visited tiles as §3.1 predicts."""
+
+from repro.bench import kernel_functional_check
+
+
+def test_kernel_functional(benchmark, report):
+    table = benchmark.pedantic(kernel_functional_check, rounds=1, iterations=1)
+    report(table, "kernel_functional")
+    dense_row, sparse_row = table.rows
+    assert sparse_row[1] < dense_row[1]  # fewer tiles visited
+    assert sparse_row[4] > 1.5  # meaningful theoretical speedup

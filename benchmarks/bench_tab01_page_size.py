@@ -1,0 +1,11 @@
+"""Table 1: QServe decode latency vs KV page size (the page-size dilemma's efficiency side)."""
+
+from repro.bench import tab01_page_size_latency
+
+
+def test_tab01_page_size(benchmark, report):
+    table = benchmark.pedantic(tab01_page_size_latency, rounds=1, iterations=1)
+    report(table, "tab01_page_size")
+    slowdowns = table.rows[-1][1:]
+    assert slowdowns[0] > slowdowns[2]  # page 16 slower than page 64
+    assert slowdowns[-1] <= min(slowdowns) + 1e-9  # page 128 is the fastest

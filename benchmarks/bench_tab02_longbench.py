@@ -1,0 +1,12 @@
+"""Tables 2 and 8: LongBench accuracy, dense vs LServe."""
+
+from repro.bench import tab02_longbench
+
+
+def test_tab02_longbench(benchmark, report):
+    tables = benchmark.pedantic(tab02_longbench, rounds=1, iterations=1)
+    report(tables, "tab02_longbench")
+    for table in tables:
+        dense_avg = table.rows[-1][1]
+        lserve_avg = table.rows[-1][2]
+        assert abs(dense_avg - lserve_avg) < 2.0  # paper: within ~0.3 points

@@ -1,0 +1,13 @@
+"""Table 3: RULER accuracy vs sequence length for dense and LServe budgets."""
+
+from repro.bench import tab03_ruler
+
+
+def test_tab03_ruler(benchmark, report):
+    table = benchmark.pedantic(tab03_ruler, rounds=1, iterations=1)
+    report(table, "tab03_ruler")
+    rows = {row[0]: row[1:] for row in table.rows}
+    # The larger budget is at least as accurate as the smaller one on average.
+    avg = lambda vals: sum(vals) / len(vals)
+    assert avg(rows["LServe-4096"]) >= avg(rows["LServe-2048"]) - 1e-9
+    assert avg(rows["Dense"]) >= avg(rows["LServe-4096"]) - 1e-9

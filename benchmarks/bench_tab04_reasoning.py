@@ -1,0 +1,10 @@
+"""Table 4: AIME / MATH500 reasoning accuracy, dense vs LServe."""
+
+from repro.bench import tab04_reasoning
+
+
+def test_tab04_reasoning(benchmark, report):
+    table = benchmark.pedantic(tab04_reasoning, rounds=1, iterations=1)
+    report(table, "tab04_reasoning")
+    average_row = table.rows[-1]
+    assert abs(average_row[1] - average_row[2]) < 3.0

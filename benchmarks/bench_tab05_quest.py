@@ -1,0 +1,11 @@
+"""Table 5: end-to-end comparison against the Quest serving system (Llama-2-7B)."""
+
+from repro.bench import tab05_quest_comparison
+
+
+def test_tab05_quest(benchmark, report):
+    table = benchmark.pedantic(tab05_quest_comparison, rounds=1, iterations=1)
+    report(table, "tab05_quest")
+    for row in table.rows:
+        assert row[3] > 1.0  # prefill speedup over Quest
+        assert row[6] > 1.0  # decode speedup over Quest

@@ -1,0 +1,11 @@
+"""Table 6: accuracy as a function of the page-selection reuse interval."""
+
+from repro.bench import tab06_reuse_interval
+
+
+def test_tab06_reuse_interval(benchmark, report):
+    table = benchmark.pedantic(tab06_reuse_interval, rounds=1, iterations=1)
+    report(table, "tab06_reuse_interval")
+    accuracy = dict(zip(table.column("reuse interval"), table.column("accuracy")))
+    assert accuracy[1] - accuracy[4] < 0.1  # default interval 4 loses almost nothing
+    assert accuracy[16] <= accuracy[4]

@@ -1,0 +1,11 @@
+"""Table 7 (artifact appendix): per-step generation latency of vLLM vs LServe."""
+
+from repro.bench import tab07_artifact_latency
+
+
+def test_tab07_artifact_latency(benchmark, report):
+    table = benchmark.pedantic(tab07_artifact_latency, rounds=1, iterations=1)
+    report(table, "tab07_artifact_latency")
+    speedups = table.column("speedup")
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]  # the gap widens with sequence length

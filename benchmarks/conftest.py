@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper and writes the
+formatted result to ``benchmarks/results/<name>.txt`` (also echoed to stdout
+when pytest runs with ``-s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report():
+    """Return a callable that saves (and prints) one or more result tables."""
+
+    def _report(tables: Table | list[Table], name: str) -> None:
+        if isinstance(tables, Table):
+            tables = [tables]
+        text = "\n\n".join(t.format() for t in tables)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report

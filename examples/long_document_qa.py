@@ -1,0 +1,59 @@
+"""Long-document QA: the page-size dilemma and hierarchical paging.
+
+Plants a needle fact in a 64K-token synthetic document and compares which
+sparse-attention policies can still find it under a 2048-token KV budget:
+StreamingLLM (sink + window), Quest-style flat page selection at several page
+sizes, and LServe's hierarchical paging.
+
+Run with:  python examples/long_document_qa.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.retrieval_policies import (
+    DenseSelection,
+    FlatPageSelection,
+    HierarchicalPageSelection,
+    StreamingSelection,
+)
+from repro.eval.synthetic_context import generate_needle_context
+
+CONTEXT_LENGTH = 65_536
+TOKEN_BUDGET = 2_048
+DEPTHS = (0.1, 0.3, 0.5, 0.7, 0.9)
+SEEDS = range(3)
+
+
+def main() -> None:
+    policies = [
+        DenseSelection(),
+        StreamingSelection(sink_tokens=128, local_tokens=256, name="StreamingLLM"),
+        FlatPageSelection(page_size=16, token_budget=TOKEN_BUDGET, name="Quest (page 16)"),
+        FlatPageSelection(page_size=64, token_budget=TOKEN_BUDGET, name="Quest (page 64)"),
+        HierarchicalPageSelection(
+            physical_page_size=64, logical_page_size=16, token_budget=TOKEN_BUDGET,
+            name="LServe (64/16)",
+        ),
+    ]
+    print(f"Needle retrieval over a {CONTEXT_LENGTH // 1024}K-token document, "
+          f"{TOKEN_BUDGET}-token KV budget\n")
+    print(f"{'policy':<18} {'avg recall':>10}   {'tokens read':>11}")
+    for policy in policies:
+        recalls, reads = [], []
+        for depth in DEPTHS:
+            for seed in SEEDS:
+                ctx = generate_needle_context(CONTEXT_LENGTH, depth, seed=seed)
+                selected = policy.select_tokens(ctx)
+                recalls.append(ctx.needle_recall(selected))
+                reads.append(selected.size)
+        print(f"{policy.name:<18} {np.mean(recalls):>10.2f}   {np.mean(reads):>11.0f}")
+
+    print("\nTakeaway: flat selection works at 16-token pages but collapses at the "
+          "64-token pages that quantized KV needs; hierarchical paging keeps the "
+          "64-token memory layout while selecting with 16-token statistics.")
+
+
+if __name__ == "__main__":
+    main()

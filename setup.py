@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The environment this reproduction targets has no network access and an older
+setuptools without the ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build the editable wheel.  ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` on newer toolchains)
+installs the package from ``src/`` instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,29 @@
+"""repro — reproduction of *LServe: Efficient Long-sequence LLM Serving with
+Unified Sparse Attention* (MLSys 2025).
+
+Subpackages
+-----------
+``repro.attention``
+    Dense / block-wise attention reference kernels, masks, RoPE.
+``repro.model``
+    Architecture configs, synthetic weights, toy tokenizer, NumPy transformer.
+``repro.kvcache``
+    Paged KV cache substrate: allocator, page tables, quantization, key stats.
+``repro.core``
+    The paper's contribution: unified block-sparse attention, streaming heads,
+    hierarchical paging, reusable page selection, the LServe engine.
+``repro.gpu``
+    A100/L40S roofline cost model and end-to-end latency simulator.
+``repro.serving``
+    Requests, continuous-batching scheduler, serving metrics.
+``repro.baselines``
+    vLLM / QServe / Quest / MInference / DuoAttention / StreamingLLM policies.
+``repro.eval``
+    Synthetic NIAH / RULER / LongBench / reasoning accuracy harnesses.
+``repro.bench``
+    Experiment runners regenerating every table and figure in the paper.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,164 @@
+"""Block-wise online-softmax attention (FlashAttention-style reference).
+
+This mirrors the structure of the GPU attention kernel described in the paper
+(Fig. 3): for each query block, the kernel iterates over KV blocks
+*sequentially*, maintaining running softmax statistics, and a KV block that is
+masked out at block level is skipped entirely — it contributes neither compute
+nor memory traffic.  The number of visited blocks is returned so callers (and
+the cost model) can account for the work actually performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.dense import repeat_kv
+from repro.attention.masks import causal_mask, num_blocks
+
+__all__ = ["BlockAttentionResult", "blockwise_attention"]
+
+
+@dataclass
+class BlockAttentionResult:
+    """Output of :func:`blockwise_attention`.
+
+    Attributes
+    ----------
+    output:
+        Attention output, ``(n_q, n_heads, head_dim)``.
+    visited_blocks:
+        Total number of (head, q_block, kv_block) tiles actually computed.
+    total_blocks:
+        Number of tiles a dense causal kernel would have computed.
+    """
+
+    output: np.ndarray
+    visited_blocks: int
+    total_blocks: int
+
+    @property
+    def block_sparsity(self) -> float:
+        """Fraction of causal tiles skipped."""
+        if self.total_blocks == 0:
+            return 0.0
+        return 1.0 - self.visited_blocks / self.total_blocks
+
+
+def blockwise_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_block: int,
+    kv_block: int,
+    block_mask: np.ndarray | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+) -> BlockAttentionResult:
+    """Online-softmax attention computed block-by-block with block skipping.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(n_q, n_heads, head_dim)`` queries and ``(n_kv, n_kv_heads, head_dim)``
+        keys/values (GQA supported).
+    q_block, kv_block:
+        Tile sizes ``TQ`` and ``TK`` from the paper. During decoding ``TQ = 1``.
+    block_mask:
+        Boolean array of shape ``(n_q_blocks, n_kv_blocks)`` or
+        ``(n_heads, n_q_blocks, n_kv_blocks)``; ``True`` keeps the tile.  When
+        omitted, all causal tiles are computed (dense attention).
+    causal:
+        Apply token-level causal masking inside retained tiles.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    n_q, n_heads, head_dim = q.shape
+    n_kv = k.shape[0]
+    if n_kv != v.shape[0]:
+        raise ValueError("k and v must have the same number of tokens")
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+
+    k_full = repeat_kv(k, n_heads)
+    v_full = repeat_kv(v, n_heads)
+
+    nqb = num_blocks(n_q, q_block)
+    nkb = num_blocks(n_kv, kv_block)
+
+    if block_mask is None:
+        block_mask_h = np.ones((n_heads, nqb, nkb), dtype=bool)
+    else:
+        block_mask = np.asarray(block_mask, dtype=bool)
+        if block_mask.shape == (nqb, nkb):
+            block_mask_h = np.broadcast_to(block_mask, (n_heads, nqb, nkb))
+        elif block_mask.shape == (n_heads, nqb, nkb):
+            block_mask_h = block_mask
+        else:
+            raise ValueError(
+                f"block_mask shape {block_mask.shape} incompatible with "
+                f"(heads={n_heads}, q_blocks={nqb}, kv_blocks={nkb})"
+            )
+
+    token_causal = causal_mask(n_q, n_kv) if causal else np.ones((n_q, n_kv), bool)
+
+    out = np.zeros((n_q, n_heads, head_dim), dtype=np.float64)
+    visited = 0
+    total = 0
+
+    for h in range(n_heads):
+        for qb in range(nqb):
+            q_start = qb * q_block
+            q_end = min(q_start + q_block, n_q)
+            q_tile = q[q_start:q_end, h, :]  # (tq, d)
+            tq = q_end - q_start
+
+            # Running online-softmax statistics for this query tile.
+            m = np.full(tq, -np.inf)
+            l = np.zeros(tq)
+            acc = np.zeros((tq, head_dim))
+
+            for kb in range(nkb):
+                k_start = kb * kv_block
+                k_end = min(k_start + kv_block, n_kv)
+                # Count tiles a dense causal kernel would visit.
+                causal_visible = (not causal) or np.any(
+                    token_causal[q_start:q_end, k_start:k_end]
+                )
+                if causal_visible:
+                    total += 1
+                if not block_mask_h[h, qb, kb]:
+                    continue
+                if not causal_visible:
+                    # Tile above the causal diagonal: nothing to compute.
+                    continue
+                visited += 1
+
+                k_tile = k_full[k_start:k_end, h, :]
+                v_tile = v_full[k_start:k_end, h, :]
+                scores = (q_tile @ k_tile.T) * scale  # (tq, tk)
+                if causal:
+                    tile_mask = token_causal[q_start:q_end, k_start:k_end]
+                    scores = np.where(tile_mask, scores, -np.inf)
+
+                block_max = np.max(scores, axis=1)
+                block_max = np.where(np.isfinite(block_max), block_max, -np.inf)
+                new_m = np.maximum(m, block_max)
+                # Rescale factors; exp(-inf - -inf) handled via where.
+                safe_new_m = np.where(np.isfinite(new_m), new_m, 0.0)
+                alpha = np.where(np.isfinite(m), np.exp(m - safe_new_m), 0.0)
+                p = np.exp(
+                    np.where(np.isfinite(scores), scores - safe_new_m[:, None], -np.inf)
+                )
+                p = np.where(np.isfinite(scores), p, 0.0)
+                l = alpha * l + p.sum(axis=1)
+                acc = alpha[:, None] * acc + p @ v_tile
+                m = new_m
+
+            with np.errstate(invalid="ignore", divide="ignore"):
+                normed = np.where(l[:, None] > 0.0, acc / np.where(l[:, None] == 0.0, 1.0, l[:, None]), 0.0)
+            out[q_start:q_end, h, :] = normed
+
+    return BlockAttentionResult(output=out, visited_blocks=visited, total_blocks=total)

@@ -1,0 +1,141 @@
+"""Attention masks: causal, streaming (Λ-shaped), and their block-level forms.
+
+A *token-level* mask is a boolean array of shape ``(n_q, n_kv)`` where ``True``
+means the query may attend to the key.  A *block-level* mask is a boolean array
+of shape ``(n_q_blocks, n_kv_blocks)`` where ``True`` means the whole tile is
+computed; this is the granularity at which LServe's unified block-sparse
+attention skips work (paper §3.1, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "causal_mask",
+    "streaming_mask",
+    "block_causal_mask",
+    "block_streaming_mask",
+    "mask_from_block_mask",
+    "num_blocks",
+    "block_sparsity",
+]
+
+
+def num_blocks(n_tokens: int, block_size: int) -> int:
+    """Number of blocks of ``block_size`` needed to cover ``n_tokens``."""
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    if n_tokens < 0:
+        raise ValueError(f"n_tokens must be non-negative, got {n_tokens}")
+    return (n_tokens + block_size - 1) // block_size
+
+
+def causal_mask(n_q: int, n_kv: int) -> np.ndarray:
+    """Token-level causal mask.
+
+    Query ``i`` (the ``i``-th of the *last* ``n_q`` positions of a ``n_kv``-token
+    context) may attend to keys ``0 .. n_kv - n_q + i``.
+    """
+    if n_kv < n_q:
+        raise ValueError(f"n_kv ({n_kv}) must be >= n_q ({n_q})")
+    q_pos = np.arange(n_kv - n_q, n_kv)[:, None]
+    k_pos = np.arange(n_kv)[None, :]
+    return k_pos <= q_pos
+
+
+def streaming_mask(n_q: int, n_kv: int, sink: int, local: int) -> np.ndarray:
+    """Token-level Λ-shaped streaming mask (attention sinks + sliding window).
+
+    Each query attends to the first ``sink`` tokens and to the most recent
+    ``local`` tokens (including itself), intersected with causality.
+    """
+    if sink < 0 or local < 0:
+        raise ValueError("sink and local must be non-negative")
+    q_pos = np.arange(n_kv - n_q, n_kv)[:, None]
+    k_pos = np.arange(n_kv)[None, :]
+    causal = k_pos <= q_pos
+    is_sink = k_pos < sink
+    is_local = k_pos > q_pos - local
+    return causal & (is_sink | is_local)
+
+
+def block_causal_mask(n_q: int, n_kv: int, q_block: int, kv_block: int) -> np.ndarray:
+    """Block-level causal mask.
+
+    A KV block is computed for a query block if *any* of its (query, key)
+    pairs is causally visible — i.e. blocks on the diagonal are kept whole, as
+    in the paper's formulation where the most recent block is always computed.
+    """
+    nqb = num_blocks(n_q, q_block)
+    nkb = num_blocks(n_kv, kv_block)
+    # Last token position covered by each query block (global positions).
+    q_last = np.minimum((np.arange(nqb) + 1) * q_block, n_q) - 1 + (n_kv - n_q)
+    k_first = np.arange(nkb) * kv_block
+    return k_first[None, :] <= q_last[:, None]
+
+
+def block_streaming_mask(
+    n_q: int,
+    n_kv: int,
+    q_block: int,
+    kv_block: int,
+    sink_blocks: int,
+    local_blocks: int,
+) -> np.ndarray:
+    """Block-level Λ-shaped mask: ``sink_blocks`` leading KV blocks plus the
+    ``local_blocks`` most recent KV blocks for each query block, intersected
+    with block causality."""
+    if sink_blocks < 0 or local_blocks < 0:
+        raise ValueError("sink_blocks and local_blocks must be non-negative")
+    causal = block_causal_mask(n_q, n_kv, q_block, kv_block)
+    nqb, nkb = causal.shape
+    kb = np.arange(nkb)[None, :]
+    is_sink = kb < sink_blocks
+    # Index of the newest (diagonal) KV block visible to each query block.
+    q_last = np.minimum((np.arange(nqb) + 1) * q_block, n_q) - 1 + (n_kv - n_q)
+    diag_block = (q_last // kv_block)[:, None]
+    is_local = kb > diag_block - local_blocks
+    return causal & (is_sink | is_local)
+
+
+def mask_from_block_mask(
+    block_mask: np.ndarray,
+    n_q: int,
+    n_kv: int,
+    q_block: int,
+    kv_block: int,
+    causal: bool = True,
+) -> np.ndarray:
+    """Expand a block-level mask to a token-level mask.
+
+    Tokens inside retained blocks follow standard causal masking when
+    ``causal=True`` (paper: retained tiles are computed "as in standard causal
+    attention"); tokens inside skipped blocks are fully masked.
+    """
+    expected = (num_blocks(n_q, q_block), num_blocks(n_kv, kv_block))
+    if block_mask.shape != expected:
+        raise ValueError(
+            f"block_mask shape {block_mask.shape} does not match expected {expected}"
+        )
+    token_mask = np.repeat(np.repeat(block_mask, q_block, axis=0), kv_block, axis=1)
+    token_mask = token_mask[:n_q, :n_kv]
+    if causal:
+        token_mask = token_mask & causal_mask(n_q, n_kv)
+    return token_mask
+
+
+def block_sparsity(block_mask: np.ndarray, reference: np.ndarray | None = None) -> float:
+    """Fraction of blocks skipped relative to ``reference`` (default: causal
+    lower-triangular budget, i.e. all blocks in the mask array)."""
+    if reference is None:
+        total = block_mask.size
+        kept = int(np.count_nonzero(block_mask))
+    else:
+        if reference.shape != block_mask.shape:
+            raise ValueError("reference mask shape mismatch")
+        total = int(np.count_nonzero(reference))
+        kept = int(np.count_nonzero(block_mask & reference))
+    if total == 0:
+        return 0.0
+    return 1.0 - kept / total

@@ -1,0 +1,41 @@
+"""Baseline serving-system policies the paper compares against.
+
+Each baseline is expressed as a :class:`~repro.baselines.policy.SystemPolicy`
+— the set of precision / sparsity / paging decisions that system makes — and
+is consumed by the GPU cost model (efficiency experiments) and by the
+evaluation harnesses (accuracy experiments).  Factory functions build the
+published configuration of every comparator: vLLM, QServe, Quest, MInference,
+DuoAttention and StreamingLLM, plus the LServe configurations themselves.
+"""
+
+from repro.baselines.policy import SystemPolicy
+from repro.baselines.systems import (
+    vllm_policy,
+    qserve_policy,
+    lserve_policy,
+    lserve_static_only_policy,
+    lserve_dynamic_only_policy,
+    quest_policy,
+    minference_policy,
+    duo_attention_policy,
+    streaming_llm_policy,
+    dense_fp16_policy,
+    all_decode_baselines,
+    all_prefill_baselines,
+)
+
+__all__ = [
+    "SystemPolicy",
+    "vllm_policy",
+    "qserve_policy",
+    "lserve_policy",
+    "lserve_static_only_policy",
+    "lserve_dynamic_only_policy",
+    "quest_policy",
+    "minference_policy",
+    "duo_attention_policy",
+    "streaming_llm_policy",
+    "dense_fp16_policy",
+    "all_decode_baselines",
+    "all_prefill_baselines",
+]

@@ -1,0 +1,110 @@
+"""System policy: the precision / sparsity / paging decisions of a serving system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["SystemPolicy"]
+
+
+@dataclass(frozen=True)
+class SystemPolicy:
+    """Everything the cost model and the accuracy harnesses need to know about
+    how a serving system treats attention and the KV cache.
+
+    The default values describe a plain FP16 dense-attention server; factory
+    functions in :mod:`repro.baselines.systems` derive every evaluated system
+    from it.
+    """
+
+    name: str
+    # -- precision --
+    weight_bits: int = 16
+    activation_bits: int = 16
+    kv_bits: int = 16
+    # -- KV paging --
+    page_size: int = 16
+    logical_page_size: int | None = None  # None => selection at physical page granularity
+    # -- static sparsity (streaming heads) --
+    streaming_head_ratio: float = 0.0
+    sink_tokens: int = 128
+    local_tokens: int = 256
+    # -- dynamic decode sparsity --
+    decode_token_budget: int | None = None  # None => dense decoding
+    reuse_interval: int = 1
+    # -- prefill sparsity --
+    prefill_sparse: bool = False
+    prefill_sparse_threshold: int = 0  # context length above which it activates
+    prefill_sparsity_level: float = 0.6  # fraction of causal tiles skipped when active
+    prefill_kernel_efficiency: float = 1.0  # relative to LServe's fused kernel (Fig. 12)
+    # -- engineering factors --
+    decode_attention_efficiency: float = 1.0  # relative to a tuned paged-attention kernel
+    per_step_overhead_s: float = 3.5e-3  # scheduler, sampling, non-GEMM kernels per decode step
+    per_prefill_overhead_s: float = 30e-3  # tokenisation, scheduling, graph setup per prefill
+    supports_gqa: bool = True
+
+    def __post_init__(self) -> None:
+        for field_name in ("weight_bits", "activation_bits", "kv_bits"):
+            if getattr(self, field_name) not in (4, 8, 16):
+                raise ValueError(f"{field_name} must be 4, 8 or 16")
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.logical_page_size is not None:
+            if self.logical_page_size <= 0 or self.page_size % self.logical_page_size:
+                raise ValueError("logical_page_size must divide page_size")
+        if not 0.0 <= self.streaming_head_ratio <= 1.0:
+            raise ValueError("streaming_head_ratio must be in [0, 1]")
+        if self.decode_token_budget is not None and self.decode_token_budget <= 0:
+            raise ValueError("decode_token_budget must be positive when set")
+        if self.reuse_interval < 1:
+            raise ValueError("reuse_interval must be >= 1")
+        if not 0.0 <= self.prefill_sparsity_level < 1.0:
+            raise ValueError("prefill_sparsity_level must be in [0, 1)")
+        if self.per_step_overhead_s < 0 or self.per_prefill_overhead_s < 0:
+            raise ValueError("overheads must be non-negative")
+
+    # -- derived helpers ----------------------------------------------------------
+    @property
+    def effective_logical_page_size(self) -> int:
+        return self.logical_page_size or self.page_size
+
+    @property
+    def has_dynamic_decode_sparsity(self) -> bool:
+        return self.decode_token_budget is not None
+
+    @property
+    def has_static_sparsity(self) -> bool:
+        return self.streaming_head_ratio > 0.0
+
+    def streaming_window(self) -> int:
+        """Tokens a streaming head keeps/attends to (sink + local)."""
+        return self.sink_tokens + self.local_tokens
+
+    def dense_decode_tokens(self, context_length: int) -> int:
+        """KV tokens a *dense* (retrieval) head reads at one decode step."""
+        if self.decode_token_budget is None:
+            return context_length
+        return min(context_length, self.decode_token_budget)
+
+    def prefill_visited_fraction(self, context_length: int) -> float:
+        """Fraction of causal attention tiles computed during prefill.
+
+        Combines static sparsity (streaming heads do nearly constant work at
+        long context) and, when enabled past the threshold, dynamic prefill
+        sparsity (MInference-style).
+        """
+        # Streaming heads: constant work ~= window / context per head.
+        if self.has_static_sparsity and context_length > 0:
+            window = min(1.0, self.streaming_window() / context_length)
+            static_fraction = (
+                (1.0 - self.streaming_head_ratio) + self.streaming_head_ratio * window
+            )
+        else:
+            static_fraction = 1.0
+        dynamic_fraction = 1.0
+        if self.prefill_sparse and context_length >= max(1, self.prefill_sparse_threshold):
+            dynamic_fraction = 1.0 - self.prefill_sparsity_level
+        return static_fraction * dynamic_fraction
+
+    def with_overrides(self, **kwargs) -> "SystemPolicy":
+        return replace(self, **kwargs)

@@ -1,0 +1,185 @@
+"""Accuracy experiments (synthetic-retrieval based): Figs. 6, 9, 13 and
+Tables 2, 3, 4, 6, 8.
+
+The synthetic workloads are scaled so one bench run finishes in minutes on a
+CPU: contexts go up to 64K tokens with a token budget whose ratio to the
+context matches the paper's 4096-at-256K setting.  Absolute scores therefore
+live on the synthetic-retrieval scale (or the anchored LongBench scale); the
+relationships between systems are the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.tables import Table
+from repro.eval.longbench import DENSE_ANCHORS, run_longbench
+from repro.eval.niah import NIAHConfig, run_niah
+from repro.eval.reasoning import ReasoningConfig, run_reasoning_eval
+from repro.eval.retrieval_policies import (
+    DenseSelection,
+    FlatPageSelection,
+    HierarchicalPageSelection,
+)
+from repro.eval.ruler import RulerConfig, reuse_interval_sweep, run_ruler
+
+__all__ = [
+    "fig06_page_size_dilemma",
+    "fig09_niah",
+    "fig13_hierarchical_paging",
+    "tab02_longbench",
+    "tab03_ruler",
+    "tab04_reasoning",
+    "tab06_reuse_interval",
+]
+
+_K = 1024
+
+# Budget-to-context pressure comparable to the paper's 4096 tokens at 256K.
+_NIAH_GRID = NIAHConfig(
+    context_lengths=(16 * _K, 32 * _K, 64 * _K),
+    depth_fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+    needle_strength=1.4,
+    samples_per_cell=2,
+)
+_BUDGET = 2048
+
+
+def fig06_page_size_dilemma() -> Table:
+    """Figure 6: NIAH accuracy of flat (Quest-style) selection vs page size and budget."""
+    table = Table(
+        title="Figure 6 — NIAH accuracy of flat page selection vs page size / token budget",
+        columns=["configuration", "16K", "32K", "64K", "average"],
+        notes="Flat selection degrades as the physical page grows, even with a proportionally larger budget.",
+    )
+    configs = [
+        ("dense attention", DenseSelection()),
+        ("page 16, budget 2048", FlatPageSelection(page_size=16, token_budget=_BUDGET)),
+        ("page 32, budget 2048", FlatPageSelection(page_size=32, token_budget=_BUDGET)),
+        ("page 64, budget 2048", FlatPageSelection(page_size=64, token_budget=_BUDGET)),
+        ("page 32, budget 4096", FlatPageSelection(page_size=32, token_budget=2 * _BUDGET)),
+        ("page 64, budget 8192", FlatPageSelection(page_size=64, token_budget=4 * _BUDGET)),
+    ]
+    for label, policy in configs:
+        result = run_niah(policy, _NIAH_GRID)
+        per_length = [result.accuracy_at_length(n) for n in _NIAH_GRID.context_lengths]
+        table.add_row(label, *per_length, result.average_accuracy)
+    return table
+
+
+def fig09_niah() -> Table:
+    """Figure 9: NIAH accuracy, dense attention vs LServe."""
+    table = Table(
+        title="Figure 9 — NIAH accuracy: dense vs LServe (hierarchical paging, 2048-token budget)",
+        columns=["system", "16K", "32K", "64K", "average"],
+        notes="LServe preserves the dense model's needle retrieval across lengths and depths.",
+    )
+    for label, policy in (
+        ("Dense", DenseSelection()),
+        ("LServe", HierarchicalPageSelection(physical_page_size=64, logical_page_size=16, token_budget=_BUDGET)),
+    ):
+        result = run_niah(policy, _NIAH_GRID)
+        per_length = [result.accuracy_at_length(n) for n in _NIAH_GRID.context_lengths]
+        table.add_row(label, *per_length, result.average_accuracy)
+    return table
+
+
+def fig13_hierarchical_paging() -> Table:
+    """Figure 13: hierarchical paging ablation (NP=16/32/64 with NL=16, fixed budget)."""
+    table = Table(
+        title="Figure 13 — Hierarchical paging ablation (logical page 16, budget 2048)",
+        columns=["configuration", "16K", "32K", "64K", "average"],
+        notes="Larger physical pages keep full accuracy once selection uses 16-token logical statistics.",
+    )
+    configs = [
+        ("NP=16, NL=16", HierarchicalPageSelection(16, 16, _BUDGET)),
+        ("NP=32, NL=16", HierarchicalPageSelection(32, 16, _BUDGET)),
+        ("NP=64, NL=16", HierarchicalPageSelection(64, 16, _BUDGET)),
+        ("flat NP=64 (Quest)", FlatPageSelection(page_size=64, token_budget=_BUDGET)),
+    ]
+    for label, policy in configs:
+        result = run_niah(policy, _NIAH_GRID)
+        per_length = [result.accuracy_at_length(n) for n in _NIAH_GRID.context_lengths]
+        table.add_row(label, *per_length, result.average_accuracy)
+    return table
+
+
+def _longbench_table(model_name: str, title: str) -> Table:
+    dense_scores = run_longbench(DenseSelection(), model_name=model_name)
+    lserve_scores = run_longbench(
+        HierarchicalPageSelection(token_budget=4096), model_name=model_name
+    )
+    table = Table(
+        title=title,
+        columns=["benchmark", "Dense", "LServe"],
+        notes="Dense column anchored to the paper's dense accuracies; LServe scaled by measured evidence recall.",
+    )
+    for task in list(DENSE_ANCHORS[model_name]) + ["Average"]:
+        table.add_row(task, dense_scores[task] if task != "Average" else dense_scores["Average"],
+                      lserve_scores[task] if task != "Average" else lserve_scores["Average"])
+    return table
+
+
+def tab02_longbench() -> list[Table]:
+    """Table 2 (and Table 8): LongBench accuracy, dense vs LServe, both models."""
+    return [
+        _longbench_table("Llama-3-8B", "Table 2/8 — LongBench accuracy (Llama-3-8B)"),
+        _longbench_table("Llama-2-7B", "Table 2 — LongBench accuracy (Llama-2-7B)"),
+    ]
+
+
+def tab03_ruler() -> Table:
+    """Table 3: RULER accuracy vs context length for dense / LServe-4096 / LServe-8192."""
+    cfg = RulerConfig(context_lengths=(16 * _K, 32 * _K, 64 * _K), samples_per_task=1)
+    table = Table(
+        title="Table 3 — RULER composite score vs context length (synthetic suite)",
+        columns=["system"] + [f"{n // _K}K" for n in cfg.context_lengths],
+        notes="A larger token budget recovers part of the gap to dense at long contexts, as in the paper.",
+    )
+    systems = (
+        ("Dense", DenseSelection()),
+        ("LServe-2048", HierarchicalPageSelection(token_budget=2048)),
+        ("LServe-4096", HierarchicalPageSelection(token_budget=4096)),
+    )
+    for label, policy in systems:
+        result = run_ruler(policy, cfg)
+        table.add_row(label, *[result.composite(n) for n in cfg.context_lengths])
+    return table
+
+
+def tab04_reasoning() -> Table:
+    """Table 4: AIME / MATH500 accuracy of dense vs LServe on the reasoning model."""
+    table = Table(
+        title="Table 4 — Reasoning accuracy (DeepSeek-R1-Distill-Llama-8B scale)",
+        columns=["benchmark", "Dense", "LServe"],
+        notes="Reasoning traces of 16K tokens with intermediate facts that must stay retrievable.",
+    )
+    rows = []
+    for benchmark in ("AIME@2024", "MATH500"):
+        cfg = ReasoningConfig(benchmark=benchmark, trace_length=16 * _K, n_problems=6)
+        dense = run_reasoning_eval(DenseSelection(), cfg)
+        lserve = run_reasoning_eval(HierarchicalPageSelection(token_budget=4096), cfg)
+        rows.append((benchmark, dense, lserve))
+        table.add_row(benchmark, dense, lserve)
+    table.add_row("Average", float(np.mean([r[1] for r in rows])), float(np.mean([r[2] for r in rows])))
+    return table
+
+
+def tab06_reuse_interval() -> Table:
+    """Table 6: accuracy vs page-selection reuse interval."""
+    sweep = reuse_interval_sweep(
+        HierarchicalPageSelection(token_budget=2048),
+        reuse_intervals=(1, 2, 4, 8, 16),
+        context_length=16 * _K,
+        decode_steps=48,
+        focus_period=12,
+        samples=2,
+    )
+    table = Table(
+        title="Table 6 — Retrieval accuracy vs reuse interval (16K context, 2048-token budget)",
+        columns=["reuse interval", "accuracy"],
+        notes="Little degradation up to interval 4 (LServe's default); larger intervals start missing query shifts.",
+    )
+    for interval, acc in sweep.items():
+        table.add_row(interval, acc)
+    return table

@@ -1,0 +1,154 @@
+"""Iterator-based block-sparse layout abstraction (paper §3.4).
+
+The GPU kernels avoid branching inside the sequential KV loop by iterating
+only over the blocks that must be computed; an *iterator* provides, for each
+(head, query block), the ordered list of KV block indices to visit, and data
+offsets follow from ``offset = iter(i + 1) - iter(i)``.  The same abstraction
+expresses streaming heads (sink + local blocks), dynamically selected pages,
+and fully dense causal attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.masks import block_causal_mask, num_blocks
+
+__all__ = [
+    "BlockIterator",
+    "dense_iterator",
+    "streaming_iterator",
+    "selected_pages_iterator",
+    "BlockSparseLayout",
+]
+
+
+@dataclass(frozen=True)
+class BlockIterator:
+    """Ordered KV block indices one (head, query block) pair visits."""
+
+    blocks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(b < 0 for b in self.blocks):
+            raise ValueError("block indices must be non-negative")
+        if list(self.blocks) != sorted(set(self.blocks)):
+            raise ValueError("block indices must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __getitem__(self, i: int) -> int:
+        return self.blocks[i]
+
+    def offsets(self) -> np.ndarray:
+        """Distance between consecutive visited blocks (kernel pointer strides)."""
+        if not self.blocks:
+            return np.zeros(0, dtype=np.int64)
+        arr = np.asarray(self.blocks, dtype=np.int64)
+        return np.diff(np.concatenate([[0], arr + 1]))
+
+    def contains(self, block: int) -> bool:
+        return block in self.blocks
+
+
+def dense_iterator(diag_block: int) -> BlockIterator:
+    """Visit every causal block up to and including the diagonal block."""
+    if diag_block < 0:
+        raise ValueError("diag_block must be non-negative")
+    return BlockIterator(tuple(range(diag_block + 1)))
+
+
+def streaming_iterator(diag_block: int, sink_blocks: int, local_blocks: int) -> BlockIterator:
+    """Visit the sink blocks plus the ``local_blocks`` most recent blocks.
+
+    The iterator jumps from the end of the sink region directly to the first
+    local block — this is the pointer update described in §3.4.
+    """
+    if diag_block < 0 or sink_blocks < 0 or local_blocks < 1:
+        raise ValueError("invalid streaming iterator geometry")
+    sinks = set(range(min(sink_blocks, diag_block + 1)))
+    locals_ = set(range(max(0, diag_block - local_blocks + 1), diag_block + 1))
+    return BlockIterator(tuple(sorted(sinks | locals_)))
+
+
+def selected_pages_iterator(
+    selected: list[int] | np.ndarray, diag_block: int
+) -> BlockIterator:
+    """Visit dynamically selected pages, always including the newest block.
+
+    The paper always computes the most recent KV block (it holds the current
+    token), so the diagonal block is appended if the selector missed it.
+    """
+    blocks = set(int(b) for b in np.asarray(selected, dtype=np.int64).ravel())
+    if any(b < 0 or b > diag_block for b in blocks):
+        raise ValueError("selected block index out of causal range")
+    blocks.add(diag_block)
+    return BlockIterator(tuple(sorted(blocks)))
+
+
+class BlockSparseLayout:
+    """Per-head, per-query-block iterators describing a block-sparse pattern."""
+
+    def __init__(self, iterators: list[list[BlockIterator]], n_kv_blocks: int) -> None:
+        if not iterators or not iterators[0]:
+            raise ValueError("layout requires at least one head and one query block")
+        n_q_blocks = len(iterators[0])
+        if any(len(per_head) != n_q_blocks for per_head in iterators):
+            raise ValueError("all heads must have the same number of query blocks")
+        self._iterators = iterators
+        self.n_heads = len(iterators)
+        self.n_q_blocks = n_q_blocks
+        self.n_kv_blocks = n_kv_blocks
+
+    def iterator(self, head: int, q_block: int) -> BlockIterator:
+        return self._iterators[head][q_block]
+
+    @classmethod
+    def from_block_mask(cls, block_mask: np.ndarray) -> "BlockSparseLayout":
+        """Build a layout from a boolean block mask of shape
+        ``(n_heads, n_q_blocks, n_kv_blocks)`` (or 2-D for head-shared masks)."""
+        mask = np.asarray(block_mask, dtype=bool)
+        if mask.ndim == 2:
+            mask = mask[None]
+        if mask.ndim != 3:
+            raise ValueError("block mask must be 2-D or 3-D")
+        iterators = [
+            [BlockIterator(tuple(np.flatnonzero(mask[h, qb]).tolist())) for qb in range(mask.shape[1])]
+            for h in range(mask.shape[0])
+        ]
+        return cls(iterators, n_kv_blocks=mask.shape[2])
+
+    def to_block_mask(self) -> np.ndarray:
+        """Boolean mask of shape ``(n_heads, n_q_blocks, n_kv_blocks)``."""
+        mask = np.zeros((self.n_heads, self.n_q_blocks, self.n_kv_blocks), dtype=bool)
+        for h in range(self.n_heads):
+            for qb in range(self.n_q_blocks):
+                mask[h, qb, list(self._iterators[h][qb].blocks)] = True
+        return mask
+
+    def visited_blocks(self) -> int:
+        """Total number of tiles the kernel will compute."""
+        return sum(len(it) for per_head in self._iterators for it in per_head)
+
+    def sparsity(self, n_q: int, n_kv: int, q_block: int, kv_block: int) -> float:
+        """Fraction of causal tiles skipped relative to a dense causal kernel."""
+        causal = block_causal_mask(n_q, n_kv, q_block, kv_block)
+        total = int(np.count_nonzero(causal)) * self.n_heads
+        if total == 0:
+            return 0.0
+        visited = 0
+        for h in range(self.n_heads):
+            for qb in range(self.n_q_blocks):
+                visited += sum(1 for b in self._iterators[h][qb] if causal[qb, b])
+        return 1.0 - visited / total
+
+    def theoretical_speedup(self, n_q: int, n_kv: int, q_block: int, kv_block: int) -> float:
+        """``1 / (1 - r)`` speedup from block sparsity ``r`` (paper §3.1)."""
+        r = self.sparsity(n_q, n_kv, q_block, kv_block)
+        return 1.0 / max(1e-12, 1.0 - r)

@@ -1,0 +1,299 @@
+"""The LServe engine: hybrid sparse attention serving over a two-way paged cache.
+
+This is the functional counterpart of the system in Fig. 5.  It drives a
+:class:`~repro.model.transformer.TinyTransformer`'s weights through LServe's
+dataflow:
+
+* **Prefill**: QKV projections, RoPE, then the fused block-sparse prefill
+  attention (dense heads causal, streaming heads Λ-masked), writing quantized
+  KV into the two-way paged cache (dense-head pages with key statistics,
+  streaming-head store with only sink + local tokens).
+* **Decode**: streaming heads attend over their constant-size store; dense
+  heads go through the (reusable) hierarchical page selector and attend only
+  over the selected physical pages.
+
+The engine records work statistics (blocks visited, tokens attended, selector
+invocations) that the analysis benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.rope import apply_rope
+from repro.core.config import LServeConfig
+from repro.core.head_classifier import classify_heads, collect_head_gates
+from repro.core.hierarchical_paging import HierarchicalPagingConfig
+from repro.core.page_selector import PageSelector, ReusablePageSelector
+from repro.core.streaming import StreamingConfig, expand_kv_head_mask
+from repro.core.unified_sparse_attention import (
+    decode_group_attention,
+    prefill_sparse_attention,
+)
+from repro.kvcache.dual_cache import DualPagedKVCache
+from repro.kvcache.paged_cache import PagedCacheConfig
+from repro.model.transformer import TinyTransformer, rms_norm, silu
+
+__all__ = ["EngineStats", "LServeEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Aggregate work counters for one engine instance."""
+
+    prefill_tokens: int = 0
+    decode_steps: int = 0
+    prefill_blocks_visited: int = 0
+    prefill_blocks_total: int = 0
+    dense_tokens_attended: int = 0
+    dense_tokens_total: int = 0
+    streaming_tokens_attended: int = 0
+
+    @property
+    def prefill_block_sparsity(self) -> float:
+        if self.prefill_blocks_total == 0:
+            return 0.0
+        return 1.0 - self.prefill_blocks_visited / self.prefill_blocks_total
+
+    @property
+    def decode_kv_compression(self) -> float:
+        """Fraction of dense-head KV tokens actually read during decoding."""
+        if self.dense_tokens_total == 0:
+            return 1.0
+        return self.dense_tokens_attended / self.dense_tokens_total
+
+
+class LServeEngine:
+    """Serve a :class:`TinyTransformer` with LServe's unified sparse attention."""
+
+    def __init__(
+        self,
+        model: TinyTransformer,
+        config: LServeConfig,
+        streaming_kv_heads: np.ndarray | None = None,
+        num_cache_pages: int = 4096,
+        calibration_tokens: np.ndarray | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        cfg = model.config
+
+        if streaming_kv_heads is None:
+            streaming_kv_heads = self._classify_streaming_heads(calibration_tokens)
+        streaming_kv_heads = np.asarray(streaming_kv_heads, dtype=bool)
+        if streaming_kv_heads.shape != (cfg.n_kv_heads,):
+            raise ValueError(
+                f"streaming_kv_heads must have shape ({cfg.n_kv_heads},), "
+                f"got {streaming_kv_heads.shape}"
+            )
+        self.streaming_kv_heads = streaming_kv_heads
+        self.streaming_query_heads = expand_kv_head_mask(
+            streaming_kv_heads, cfg.gqa_group_size
+        )
+        self.streaming = StreamingConfig(
+            sink_tokens=config.sink_tokens, local_tokens=config.local_tokens
+        )
+
+        self.cache = DualPagedKVCache(
+            PagedCacheConfig(
+                n_layers=cfg.n_layers,
+                n_kv_heads=cfg.n_kv_heads,
+                head_dim=cfg.head_dim,
+                page_size=config.physical_page_size,
+                num_pages=num_cache_pages,
+                kv_bits=config.kv_bits,
+                logical_page_size=config.logical_page_size,
+            ),
+            streaming_head_mask=streaming_kv_heads,
+            sink_tokens=config.sink_tokens,
+            local_tokens=config.local_tokens,
+        )
+        self.selector = ReusablePageSelector(
+            PageSelector(
+                HierarchicalPagingConfig(
+                    physical_page_size=config.physical_page_size,
+                    logical_page_size=config.logical_page_size,
+                    token_budget=config.token_budget,
+                ),
+                sink_pages=config.sink_pages,
+                local_pages=config.local_pages,
+            ),
+            reuse_interval=config.reuse_interval,
+        )
+        self.stats = EngineStats()
+
+        # Query-head bookkeeping for the two head groups.
+        group = cfg.gqa_group_size
+        self._dense_kv_heads = np.flatnonzero(~streaming_kv_heads)
+        self._streaming_kv_heads_idx = np.flatnonzero(streaming_kv_heads)
+        self._dense_query_heads = np.concatenate(
+            [np.arange(kv * group, (kv + 1) * group) for kv in self._dense_kv_heads]
+        ) if self._dense_kv_heads.size else np.zeros(0, dtype=np.int64)
+
+    # -- setup -----------------------------------------------------------------
+    def _classify_streaming_heads(
+        self, calibration_tokens: np.ndarray | None
+    ) -> np.ndarray:
+        """Derive the streaming KV-head mask from DuoAttention-style gates."""
+        cfg = self.model.config
+        if self.config.streaming_head_ratio == 0.0:
+            return np.zeros(cfg.n_kv_heads, dtype=bool)
+        if calibration_tokens is None:
+            rng = np.random.default_rng(0)
+            length = min(128, cfg.max_context_length)
+            calibration_tokens = rng.integers(0, cfg.vocab_size, size=length)
+        gates = collect_head_gates(self.model, calibration_tokens, self.streaming_for_calibration())
+        # One mask shared by all layers: rank KV heads by their mean gate.
+        mean_gates = gates.mean(axis=0)
+        classification = classify_heads(mean_gates, sparsity=self.config.streaming_head_ratio)
+        return classification.streaming_mask.ravel()
+
+    def streaming_for_calibration(self) -> StreamingConfig:
+        """Streaming geometry used during head-gate calibration."""
+        return StreamingConfig(
+            sink_tokens=self.config.sink_tokens, local_tokens=self.config.local_tokens
+        )
+
+    # -- sequence lifecycle ------------------------------------------------------
+    def add_sequence(self, seq_id: object) -> None:
+        self.cache.add_sequence(seq_id)
+
+    def release(self, seq_id: object) -> None:
+        self.cache.remove_sequence(seq_id)
+        self.selector.reset()
+
+    def context_length(self, seq_id: object) -> int:
+        return self.cache.seq_len(seq_id)
+
+    # -- serving entry points ------------------------------------------------------
+    def prefill(self, seq_id: object, token_ids: np.ndarray) -> np.ndarray:
+        """Prefill a fresh sequence; returns logits ``(n_tokens, vocab_size)``.
+
+        The engine performs single-shot prefill: the sequence must be empty
+        (chunked prefill is not needed by any reproduced experiment).
+        """
+        if not self.cache.has_sequence(seq_id):
+            self.add_sequence(seq_id)
+        if self.cache.seq_len(seq_id) != 0:
+            raise ValueError("prefill requires an empty sequence")
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1 or token_ids.size == 0:
+            raise ValueError("token_ids must be a non-empty 1-D array")
+        logits = self._forward(seq_id, token_ids, is_prefill=True)
+        self.stats.prefill_tokens += int(token_ids.size)
+        return logits
+
+    def decode(self, seq_id: object, token_id: int) -> np.ndarray:
+        """One decode step; returns logits ``(vocab_size,)``."""
+        if self.cache.seq_len(seq_id) == 0:
+            raise ValueError("decode requires a prefilled sequence")
+        logits = self._forward(seq_id, np.array([token_id]), is_prefill=False)
+        self.stats.decode_steps += 1
+        return logits[0]
+
+    def generate(
+        self, prompt_ids: np.ndarray, max_new_tokens: int, seq_id: object = "generate"
+    ) -> list[int]:
+        """Greedy generation convenience wrapper (prefill + decode loop)."""
+        logits = self.prefill(seq_id, prompt_ids)
+        next_id = int(np.argmax(logits[-1]))
+        generated = [next_id]
+        for _ in range(max_new_tokens - 1):
+            next_id = int(np.argmax(self.decode(seq_id, next_id)))
+            generated.append(next_id)
+        return generated
+
+    # -- forward pass ------------------------------------------------------------
+    def _forward(
+        self, seq_id: object, token_ids: np.ndarray, is_prefill: bool
+    ) -> np.ndarray:
+        cfg = self.model.config
+        weights = self.model.weights
+        n_new = token_ids.shape[0]
+        start = self.cache.seq_len(seq_id)
+        positions = np.arange(start, start + n_new)
+
+        hidden = weights.embedding[token_ids]
+        for layer_idx, layer in enumerate(weights.layers):
+            attn_in = rms_norm(hidden, layer.attn_norm)
+            q = (attn_in @ layer.wq).reshape(n_new, cfg.n_heads, cfg.head_dim)
+            k = (attn_in @ layer.wk).reshape(n_new, cfg.n_kv_heads, cfg.head_dim)
+            v = (attn_in @ layer.wv).reshape(n_new, cfg.n_kv_heads, cfg.head_dim)
+            q = apply_rope(q, positions, self.model.rope)
+            k = apply_rope(k, positions, self.model.rope)
+            self.cache.append(seq_id, layer_idx, k, v)
+
+            if is_prefill:
+                attn_out = self._prefill_attention(q, k, v)
+            else:
+                attn_out = self._decode_attention(seq_id, layer_idx, q)
+
+            hidden = hidden + attn_out.reshape(n_new, cfg.hidden_size) @ layer.wo
+            ffn_in = rms_norm(hidden, layer.ffn_norm)
+            gate = silu(ffn_in @ layer.w_gate) * (ffn_in @ layer.w_up)
+            hidden = hidden + gate @ layer.w_down
+
+        hidden = rms_norm(hidden, weights.final_norm)
+        return hidden @ weights.lm_head
+
+    def _prefill_attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        output, stats = prefill_sparse_attention(
+            q,
+            k,
+            v,
+            head_is_streaming=self.streaming_query_heads,
+            streaming=self.streaming,
+            q_block=self.config.q_block_size,
+            kv_block=self.config.physical_page_size,
+        )
+        self.stats.prefill_blocks_visited += stats.visited_blocks
+        self.stats.prefill_blocks_total += stats.total_blocks
+        return output
+
+    def _decode_attention(self, seq_id: object, layer_idx: int, q: np.ndarray) -> np.ndarray:
+        cfg = self.model.config
+        group = cfg.gqa_group_size
+        context = self.cache.seq_len(seq_id)
+        output = np.zeros((1, cfg.n_heads, cfg.head_dim))
+
+        # Streaming heads: constant-size sink + local window.
+        if self._streaming_kv_heads_idx.size:
+            k_s, v_s, _ = self.cache.get_streaming(seq_id, layer_idx)
+            for store_idx, kv_head in enumerate(self._streaming_kv_heads_idx):
+                heads = np.arange(kv_head * group, (kv_head + 1) * group)
+                output[0, heads] = decode_group_attention(
+                    q[0, heads], k_s[:, store_idx], v_s[:, store_idx]
+                )
+                self.stats.streaming_tokens_attended += int(k_s.shape[0])
+
+        # Dense heads: dynamic page selection over the full history.
+        if self._dense_kv_heads.size:
+            dense_cache = self.cache.dense_cache
+            assert dense_cache is not None
+            if self.config.dynamic_sparsity_active(context):
+                kmin, kmax = self.cache.dense_key_stats(seq_id, layer_idx)
+                q_dense = q[0, self._dense_query_heads, :]
+                selection = self.selector.select(
+                    (seq_id, layer_idx), q_dense, kmin, kmax, gqa_group_size=group
+                )
+                for dense_idx, kv_head in enumerate(self._dense_kv_heads):
+                    heads = np.arange(kv_head * group, (kv_head + 1) * group)
+                    pages = selection.pages_per_kv_head[dense_idx]
+                    k_sel, v_sel, _ = dense_cache.gather_pages(seq_id, layer_idx, pages)
+                    output[0, heads] = decode_group_attention(
+                        q[0, heads], k_sel[:, dense_idx], v_sel[:, dense_idx]
+                    )
+                    self.stats.dense_tokens_attended += int(k_sel.shape[0])
+                    self.stats.dense_tokens_total += context
+            else:
+                k_d, v_d = self.cache.get_dense(seq_id, layer_idx)
+                for dense_idx, kv_head in enumerate(self._dense_kv_heads):
+                    heads = np.arange(kv_head * group, (kv_head + 1) * group)
+                    output[0, heads] = decode_group_attention(
+                        q[0, heads], k_d[:, dense_idx], v_d[:, dense_idx]
+                    )
+                    self.stats.dense_tokens_attended += context
+                    self.stats.dense_tokens_total += context
+        return output

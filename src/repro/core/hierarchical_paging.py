@@ -1,0 +1,185 @@
+"""Hierarchical paging and query-centric page importance (paper §3.5.2, Fig. 7).
+
+Dynamic sparsity in LServe works at two granularities:
+
+* *Logical pages* of ``NL`` tokens carry the channel-wise min/max key
+  statistics used to estimate importance.  Keeping ``NL`` small (16) keeps the
+  statistics representative.
+* *Physical pages* of ``NP = g · NL`` tokens are the unit of memory layout and
+  of attention computation (large pages keep the GPU memory bandwidth busy and
+  play well with KV quantization).
+
+The importance of a logical page for the current query is the Quest-style
+upper bound on the query–key dot products it can contain (Eq. 2):
+
+``S_j = Σ_i max(q_i · kmax_{j,i}, q_i · kmin_{j,i})``
+
+and a physical page inherits the maximum of its logical pages' scores.  The
+top-K physical pages under the token budget are selected, with the sink and
+most recent (local) pages always retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "HierarchicalPagingConfig",
+    "logical_page_scores",
+    "physical_page_scores",
+    "select_top_pages",
+]
+
+
+@dataclass(frozen=True)
+class HierarchicalPagingConfig:
+    """Geometry of the hierarchical page selector."""
+
+    physical_page_size: int = 64
+    logical_page_size: int = 16
+    token_budget: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.physical_page_size <= 0 or self.logical_page_size <= 0:
+            raise ValueError("page sizes must be positive")
+        if self.physical_page_size % self.logical_page_size != 0:
+            raise ValueError("physical_page_size must be a multiple of logical_page_size")
+        if self.token_budget <= 0:
+            raise ValueError("token_budget must be positive")
+
+    @property
+    def logical_pages_per_physical(self) -> int:
+        return self.physical_page_size // self.logical_page_size
+
+    @property
+    def budget_pages(self) -> int:
+        """Token budget expressed in physical pages (at least one)."""
+        return max(1, self.token_budget // self.physical_page_size)
+
+
+def logical_page_scores(
+    query: np.ndarray,
+    kmin: np.ndarray,
+    kmax: np.ndarray,
+    gqa_group_size: int = 1,
+) -> np.ndarray:
+    """Per-KV-head, per-logical-page importance scores (Eq. 2).
+
+    Parameters
+    ----------
+    query:
+        Current decode query, shape ``(n_heads, head_dim)``.
+    kmin, kmax:
+        Per-logical-page key statistics, shape
+        ``(n_logical_pages, n_kv_heads, head_dim)``.
+    gqa_group_size:
+        Number of query heads per KV head; the score of a KV head's page is the
+        maximum over the query heads in its group (the page only needs to be
+        important for one of them to be worth keeping).
+
+    Returns
+    -------
+    Scores of shape ``(n_kv_heads, n_logical_pages)``.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    kmin = np.asarray(kmin, dtype=np.float64)
+    kmax = np.asarray(kmax, dtype=np.float64)
+    if query.ndim != 2:
+        raise ValueError(f"query must be (n_heads, head_dim), got {query.shape}")
+    if kmin.shape != kmax.shape or kmin.ndim != 3:
+        raise ValueError("kmin/kmax must both be (n_logical_pages, n_kv_heads, head_dim)")
+    n_heads, head_dim = query.shape
+    n_pages, n_kv_heads, stat_dim = kmin.shape
+    if stat_dim != head_dim:
+        raise ValueError("head_dim mismatch between query and key stats")
+    if n_heads != n_kv_heads * gqa_group_size:
+        raise ValueError(
+            f"n_heads ({n_heads}) must equal n_kv_heads ({n_kv_heads}) * "
+            f"gqa_group_size ({gqa_group_size})"
+        )
+    if n_pages == 0:
+        return np.zeros((n_kv_heads, 0))
+
+    # q_grouped[kv_head, group, dim]
+    q_grouped = query.reshape(n_kv_heads, gqa_group_size, head_dim)
+    # Eq. 2: per-channel upper bound of q · k over the page, summed over channels.
+    per_channel = np.maximum(
+        q_grouped[None, :, :, :] * kmax[:, :, None, :],
+        q_grouped[None, :, :, :] * kmin[:, :, None, :],
+    )
+    scores = per_channel.sum(axis=-1)  # (n_pages, n_kv_heads, group)
+    return scores.max(axis=-1).T  # (n_kv_heads, n_pages)
+
+
+def physical_page_scores(
+    logical_scores: np.ndarray, logical_pages_per_physical: int
+) -> np.ndarray:
+    """Max-reduce logical-page scores onto their physical pages.
+
+    ``logical_scores`` has shape ``(n_kv_heads, n_logical_pages)``; the result
+    has shape ``(n_kv_heads, n_physical_pages)`` where the last physical page
+    may cover fewer logical pages.
+    """
+    scores = np.asarray(logical_scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("logical_scores must be 2-D (n_kv_heads, n_logical_pages)")
+    if logical_pages_per_physical <= 0:
+        raise ValueError("logical_pages_per_physical must be positive")
+    n_kv_heads, n_logical = scores.shape
+    if n_logical == 0:
+        return np.zeros((n_kv_heads, 0))
+    n_physical = -(-n_logical // logical_pages_per_physical)
+    padded = np.full((n_kv_heads, n_physical * logical_pages_per_physical), -np.inf)
+    padded[:, :n_logical] = scores
+    return padded.reshape(n_kv_heads, n_physical, logical_pages_per_physical).max(axis=-1)
+
+
+def select_top_pages(
+    phys_scores: np.ndarray,
+    budget_pages: int,
+    sink_pages: int = 1,
+    local_pages: int = 1,
+) -> list[np.ndarray]:
+    """Select the top-K physical pages per KV head under the page budget.
+
+    The sink pages (oldest) and local pages (newest) are always included and
+    count against the budget; the remaining slots go to the highest-scoring
+    pages.  Returns, per KV head, a sorted array of selected page positions.
+    """
+    scores = np.asarray(phys_scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("phys_scores must be 2-D (n_kv_heads, n_physical_pages)")
+    if budget_pages <= 0:
+        raise ValueError("budget_pages must be positive")
+    if sink_pages < 0 or local_pages < 0:
+        raise ValueError("sink_pages and local_pages must be non-negative")
+    n_kv_heads, n_pages = scores.shape
+    selections: list[np.ndarray] = []
+    for h in range(n_kv_heads):
+        if n_pages <= budget_pages:
+            selections.append(np.arange(n_pages))
+            continue
+        always = set(range(min(sink_pages, n_pages)))
+        always |= set(range(max(0, n_pages - local_pages), n_pages))
+        remaining_budget = max(0, budget_pages - len(always))
+        candidates = [p for p in range(n_pages) if p not in always]
+        if remaining_budget and candidates:
+            cand_scores = scores[h, candidates]
+            order = np.argsort(-cand_scores, kind="stable")[:remaining_budget]
+            chosen = {candidates[i] for i in order}
+        else:
+            chosen = set()
+        selected = np.asarray(sorted(always | chosen), dtype=np.int64)
+        # Enforce the budget even when sink+local alone exceed it (tiny budgets):
+        # drop the lowest-scoring non-diagonal pages first.
+        if selected.size > budget_pages:
+            keep_last = n_pages - 1
+            others = [p for p in selected if p != keep_last]
+            others.sort(key=lambda p: scores[h, p], reverse=True)
+            selected = np.asarray(
+                sorted(others[: budget_pages - 1] + [keep_last]), dtype=np.int64
+            )
+        selections.append(selected)
+    return selections

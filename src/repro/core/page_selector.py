@@ -1,0 +1,149 @@
+"""Dynamic page selection with hierarchical paging and selection reuse.
+
+:class:`PageSelector` implements the query-centric selection of §3.5.2: score
+logical pages with Eq. 2, max-reduce onto physical pages, keep the top-K
+physical pages under the token budget (sink and local pages always retained).
+
+:class:`ReusablePageSelector` implements §3.5.3: because adjacent decode
+queries attend to similar history, the selection is recomputed only at the
+start of every ``reuse_interval``-token chunk and reused for the queries in
+between, cutting selector overhead by the reuse interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hierarchical_paging import (
+    HierarchicalPagingConfig,
+    logical_page_scores,
+    physical_page_scores,
+    select_top_pages,
+)
+
+__all__ = ["PageSelection", "PageSelector", "ReusablePageSelector"]
+
+
+@dataclass
+class PageSelection:
+    """Outcome of one page-selection invocation.
+
+    ``pages_per_kv_head[h]`` is a sorted array of selected physical page
+    positions (indices into the sequence's page table) for KV head ``h``.
+    """
+
+    pages_per_kv_head: list[np.ndarray]
+    n_physical_pages: int
+
+    def selected_fraction(self) -> float:
+        """Average fraction of physical pages kept across KV heads."""
+        if self.n_physical_pages == 0 or not self.pages_per_kv_head:
+            return 1.0
+        kept = np.mean([len(p) for p in self.pages_per_kv_head])
+        return float(kept / self.n_physical_pages)
+
+
+class PageSelector:
+    """Stateless hierarchical page selector (one invocation per decode query)."""
+
+    def __init__(
+        self,
+        config: HierarchicalPagingConfig,
+        sink_pages: int = 1,
+        local_pages: int = 1,
+    ) -> None:
+        self.config = config
+        self.sink_pages = sink_pages
+        self.local_pages = local_pages
+        self.num_invocations = 0
+
+    def select(
+        self,
+        query: np.ndarray,
+        kmin: np.ndarray,
+        kmax: np.ndarray,
+        gqa_group_size: int = 1,
+    ) -> PageSelection:
+        """Select physical pages for the current decode query.
+
+        ``query`` is ``(n_heads, head_dim)``; ``kmin``/``kmax`` are the
+        per-logical-page key statistics ``(n_logical_pages, n_kv_heads,
+        head_dim)`` maintained by the paged cache.
+        """
+        self.num_invocations += 1
+        logical = logical_page_scores(query, kmin, kmax, gqa_group_size=gqa_group_size)
+        physical = physical_page_scores(logical, self.config.logical_pages_per_physical)
+        pages = select_top_pages(
+            physical,
+            budget_pages=self.config.budget_pages,
+            sink_pages=self.sink_pages,
+            local_pages=self.local_pages,
+        )
+        return PageSelection(pages_per_kv_head=pages, n_physical_pages=physical.shape[1])
+
+
+@dataclass
+class _CacheEntry:
+    selection: PageSelection
+    queries_served: int = 0
+
+
+class ReusablePageSelector:
+    """Page selector that reuses its decision across a chunk of decode steps.
+
+    A cached selection is reused for up to ``reuse_interval`` consecutive
+    queries of the same sequence; the cache is also refreshed whenever the
+    number of physical pages grows (a new page appeared since the cached
+    decision, which the cached decision cannot cover).
+    """
+
+    def __init__(self, selector: PageSelector, reuse_interval: int = 4) -> None:
+        if reuse_interval < 1:
+            raise ValueError("reuse_interval must be >= 1")
+        self.selector = selector
+        self.reuse_interval = reuse_interval
+        self.num_queries = 0
+        self._cache: dict[object, _CacheEntry] = {}
+
+    @property
+    def num_selector_calls(self) -> int:
+        return self.selector.num_invocations
+
+    def overhead_reduction(self) -> float:
+        """Measured ratio of queries served per selector invocation."""
+        if self.num_selector_calls == 0:
+            return 1.0
+        return self.num_queries / self.num_selector_calls
+
+    def reset(self, key: object | None = None) -> None:
+        """Drop cached selections (all of them, or one sequence's)."""
+        if key is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(key, None)
+
+    def select(
+        self,
+        key: object,
+        query: np.ndarray,
+        kmin: np.ndarray,
+        kmax: np.ndarray,
+        gqa_group_size: int = 1,
+    ) -> PageSelection:
+        """Return a (possibly cached) page selection for sequence ``key``."""
+        self.num_queries += 1
+        n_logical = np.asarray(kmin).shape[0]
+        n_physical = -(-n_logical // self.selector.config.logical_pages_per_physical)
+        entry = self._cache.get(key)
+        if (
+            entry is not None
+            and entry.queries_served < self.reuse_interval
+            and entry.selection.n_physical_pages == n_physical
+        ):
+            entry.queries_served += 1
+            return entry.selection
+        selection = self.selector.select(query, kmin, kmax, gqa_group_size=gqa_group_size)
+        self._cache[key] = _CacheEntry(selection=selection, queries_served=1)
+        return selection

@@ -1,0 +1,110 @@
+"""Unified block-sparse attention for prefilling and decoding (paper §3.1).
+
+Both stages share one formulation: attention is computed tile by tile
+(``TQ × TK``), and a tile is either fully computed or fully skipped.
+
+* **Prefilling** (``TQ = q_block_size``): dense (retrieval) heads use the full
+  causal block mask, streaming heads use the Λ-shaped block mask; both are
+  fused into a single call to the block-wise kernel model.
+* **Decoding** (``TQ = 1``): streaming heads attend over the constant-size
+  sink+local store, dense heads attend over the physical pages chosen by the
+  page selector.  Computing softmax over exactly the gathered tokens is
+  numerically identical to running the full kernel with skipped blocks, so the
+  decode path is expressed as ordinary attention over gathered subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.dense import dense_attention
+from repro.attention.flash_reference import BlockAttentionResult, blockwise_attention
+from repro.core.streaming import StreamingConfig, build_prefill_block_masks
+
+__all__ = [
+    "PrefillAttentionStats",
+    "prefill_sparse_attention",
+    "decode_group_attention",
+]
+
+
+@dataclass
+class PrefillAttentionStats:
+    """Work accounting for one fused prefill attention call."""
+
+    visited_blocks: int
+    total_blocks: int
+
+    @property
+    def sparsity(self) -> float:
+        if self.total_blocks == 0:
+            return 0.0
+        return 1.0 - self.visited_blocks / self.total_blocks
+
+    @property
+    def theoretical_speedup(self) -> float:
+        return 1.0 / max(1e-12, 1.0 - self.sparsity)
+
+
+def prefill_sparse_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    head_is_streaming: np.ndarray,
+    streaming: StreamingConfig,
+    q_block: int,
+    kv_block: int,
+) -> tuple[np.ndarray, PrefillAttentionStats]:
+    """Fused prefill attention over dense and streaming heads.
+
+    ``q`` is ``(n_q, n_heads, head_dim)``, ``k``/``v`` are
+    ``(n_kv, n_kv_heads, head_dim)`` (GQA supported), and
+    ``head_is_streaming`` is a boolean array over *query* heads.
+    Returns ``(output, stats)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    head_is_streaming = np.asarray(head_is_streaming, dtype=bool)
+    if head_is_streaming.shape != (q.shape[1],):
+        raise ValueError(
+            f"head_is_streaming must have shape ({q.shape[1]},), got {head_is_streaming.shape}"
+        )
+    n_q, _, _ = q.shape
+    n_kv = np.asarray(k).shape[0]
+    block_masks = build_prefill_block_masks(
+        n_q, n_kv, q_block, kv_block, head_is_streaming, streaming
+    )
+    result: BlockAttentionResult = blockwise_attention(
+        q, k, v, q_block=q_block, kv_block=kv_block, block_mask=block_masks, causal=True
+    )
+    stats = PrefillAttentionStats(
+        visited_blocks=result.visited_blocks, total_blocks=result.total_blocks
+    )
+    return result.output, stats
+
+
+def decode_group_attention(
+    q_group: np.ndarray, k_head: np.ndarray, v_head: np.ndarray
+) -> np.ndarray:
+    """Decode-stage attention of one GQA group over a gathered KV subset.
+
+    ``q_group`` is ``(n_group_heads, head_dim)`` (the query heads sharing one
+    KV head), ``k_head``/``v_head`` are ``(n_selected_tokens, head_dim)``.
+    Every gathered token is causally visible to the decode query by
+    construction, so no mask is applied.  Returns ``(n_group_heads, head_dim)``.
+    """
+    q_group = np.asarray(q_group, dtype=np.float64)
+    k_head = np.asarray(k_head, dtype=np.float64)
+    v_head = np.asarray(v_head, dtype=np.float64)
+    if q_group.ndim != 2 or k_head.ndim != 2 or v_head.shape != k_head.shape:
+        raise ValueError("bad shapes for decode_group_attention")
+    if k_head.shape[0] == 0:
+        return np.zeros_like(q_group)
+    out = dense_attention(
+        q_group[None, :, :],  # (1, n_group_heads, head_dim)
+        k_head[:, None, :],  # (n_sel, 1, head_dim)
+        v_head[:, None, :],
+        causal=False,
+    )
+    return out[0]

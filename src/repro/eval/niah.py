@@ -1,0 +1,89 @@
+"""Needle-in-a-Haystack (NIAH) pressure test on the synthetic substrate.
+
+Reproduces the experiments of Figs. 6, 9 and 13: a needle fact is planted at a
+(document length, document depth) grid cell and the score of a cell is how well
+the system's token-selection policy recovers the needle span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.retrieval_policies import SelectionPolicy
+from repro.eval.scoring import grid_average, recall_to_accuracy
+from repro.eval.synthetic_context import generate_needle_context
+
+__all__ = ["NIAHConfig", "NIAHResult", "run_niah"]
+
+
+@dataclass(frozen=True)
+class NIAHConfig:
+    """Grid definition for a NIAH sweep."""
+
+    context_lengths: tuple[int, ...] = (4096, 8192, 16384, 32768)
+    depth_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    needle_length: int = 32
+    head_dim: int = 64
+    needle_strength: float = 1.5
+    samples_per_cell: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.context_lengths or not self.depth_fractions:
+            raise ValueError("context_lengths and depth_fractions must be non-empty")
+        if self.samples_per_cell <= 0:
+            raise ValueError("samples_per_cell must be positive")
+
+
+@dataclass
+class NIAHResult:
+    """Accuracy grid of one policy on the NIAH sweep."""
+
+    policy_name: str
+    config: NIAHConfig
+    grid: np.ndarray  # (n_lengths, n_depths)
+
+    @property
+    def average_accuracy(self) -> float:
+        return grid_average(self.grid)
+
+    def accuracy_at_length(self, context_length: int) -> float:
+        idx = self.config.context_lengths.index(context_length)
+        return float(self.grid[idx].mean())
+
+    def to_rows(self) -> list[dict[str, float]]:
+        rows = []
+        for i, length in enumerate(self.config.context_lengths):
+            for j, depth in enumerate(self.config.depth_fractions):
+                rows.append(
+                    {
+                        "context_length": float(length),
+                        "depth": float(depth),
+                        "accuracy": float(self.grid[i, j]),
+                    }
+                )
+        return rows
+
+
+def run_niah(policy: SelectionPolicy, config: NIAHConfig | None = None) -> NIAHResult:
+    """Evaluate one selection policy over the NIAH grid."""
+    config = config or NIAHConfig()
+    grid = np.zeros((len(config.context_lengths), len(config.depth_fractions)))
+    for i, length in enumerate(config.context_lengths):
+        for j, depth in enumerate(config.depth_fractions):
+            scores = []
+            for s in range(config.samples_per_cell):
+                context = generate_needle_context(
+                    context_length=length,
+                    depth_fraction=depth,
+                    needle_length=config.needle_length,
+                    head_dim=config.head_dim,
+                    needle_strength=config.needle_strength,
+                    seed=config.seed + 7919 * i + 101 * j + s,
+                )
+                selected = policy.select_tokens(context)
+                scores.append(recall_to_accuracy(context.needle_recall(selected)))
+            grid[i, j] = float(np.mean(scores))
+    return NIAHResult(policy_name=policy.name, config=config, grid=grid)

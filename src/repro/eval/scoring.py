@@ -1,0 +1,40 @@
+"""Shared scoring helpers for the accuracy harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_to_accuracy", "grid_average", "coverage_score"]
+
+
+def recall_to_accuracy(recall: float, threshold: float = 0.9) -> float:
+    """Convert needle recall into a task accuracy in [0, 1].
+
+    A needle question is answered only when (nearly) the whole needle span is
+    attended to — quoting the fact requires reading it, so the default
+    threshold is 0.9 of the span.  Partial coverage below the threshold earns
+    proportional partial credit (the answer degrades rather than failing
+    outright), matching how NIAH grading assigns intermediate scores.
+    """
+    if not 0.0 <= recall <= 1.0:
+        raise ValueError("recall must be in [0, 1]")
+    if recall >= threshold:
+        return 1.0
+    return recall / threshold
+
+
+def coverage_score(selected: np.ndarray, relevant: np.ndarray) -> float:
+    """Fraction of relevant token positions covered by the selection."""
+    relevant = np.asarray(relevant).ravel()
+    if relevant.size == 0:
+        return 1.0
+    selected_set = set(int(t) for t in np.asarray(selected).ravel())
+    return sum(1 for t in relevant if int(t) in selected_set) / relevant.size
+
+
+def grid_average(grid: np.ndarray) -> float:
+    """Average accuracy over a (context length x depth) result grid."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.size == 0:
+        raise ValueError("grid must be non-empty")
+    return float(grid.mean())

@@ -1,0 +1,31 @@
+"""Analytical GPU cost model (roofline) and end-to-end latency simulator.
+
+The paper's efficiency results come from counting work: tiles of attention
+visited, KV bytes moved, selector operations, GEMM FLOPs.  This subpackage
+counts the same quantities and converts them to time using published A100 /
+L40S peak numbers, so relative speedups, crossover points and OOM boundaries
+are reproduced without a GPU.  Absolute milliseconds are a model, not a
+measurement; see DESIGN.md for the calibration notes.
+"""
+
+from repro.gpu.device import DeviceSpec, A100_80G, L40S_48G, DEVICE_REGISTRY, get_device
+from repro.gpu.kernels import (
+    KernelCostModel,
+    bandwidth_utilization,
+)
+from repro.gpu.cost_model import StageBreakdown, SystemCostModel
+from repro.gpu.simulator import LatencySimulator, OutOfMemoryError
+
+__all__ = [
+    "DeviceSpec",
+    "A100_80G",
+    "L40S_48G",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "KernelCostModel",
+    "bandwidth_utilization",
+    "StageBreakdown",
+    "SystemCostModel",
+    "LatencySimulator",
+    "OutOfMemoryError",
+]

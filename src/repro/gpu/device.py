@@ -1,0 +1,79 @@
+"""GPU device specifications used by the roofline cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_80G", "L40S_48G", "DEVICE_REGISTRY", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Peak capabilities of one GPU.
+
+    Only the quantities the roofline model needs are kept: HBM capacity and
+    bandwidth, dense tensor-core throughput at FP16 and INT8, and the number
+    of streaming multiprocessors (used to reason about kernel occupancy).
+    """
+
+    name: str
+    memory_gb: float
+    memory_bandwidth_gb_s: float
+    fp16_tflops: float
+    int8_tops: float
+    sm_count: int
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "memory_gb",
+            "memory_bandwidth_gb_s",
+            "fp16_tflops",
+            "int8_tops",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.sm_count <= 0:
+            raise ValueError("sm_count must be positive")
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * 1e9
+
+    @property
+    def memory_bandwidth_bytes_s(self) -> float:
+        return self.memory_bandwidth_gb_s * 1e9
+
+    def flops_per_second(self, bits: int) -> float:
+        """Dense matmul throughput (operations/s) for the given operand width."""
+        if bits >= 16:
+            return self.fp16_tflops * 1e12
+        return self.int8_tops * 1e12
+
+
+A100_80G = DeviceSpec(
+    name="A100-80GB",
+    memory_gb=80.0,
+    memory_bandwidth_gb_s=2039.0,
+    fp16_tflops=312.0,
+    int8_tops=624.0,
+    sm_count=108,
+)
+
+L40S_48G = DeviceSpec(
+    name="L40S-48GB",
+    memory_gb=48.0,
+    memory_bandwidth_gb_s=864.0,
+    fp16_tflops=181.0,
+    int8_tops=362.0,
+    sm_count=142,
+)
+
+DEVICE_REGISTRY: dict[str, DeviceSpec] = {d.name: d for d in (A100_80G, L40S_48G)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by name (case-insensitive prefix match allowed)."""
+    for key, dev in DEVICE_REGISTRY.items():
+        if key.lower() == name.lower() or key.lower().startswith(name.lower()):
+            return dev
+    raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_REGISTRY)}")

@@ -1,0 +1,170 @@
+"""Per-kernel latency models (roofline + empirical efficiency factors).
+
+Each kernel's latency is the maximum of its compute time and its memory time
+at the device's peak rates, scaled by an efficiency factor, plus a fixed
+launch overhead.  The page-size-dependent bandwidth utilisation term models
+the effect measured in Table 1 of the paper (small KV pages underutilise HBM
+bandwidth, which is why LServe cannot simply shrink physical pages), and the
+selector cost models the per-logical-page work of Figs. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["bandwidth_utilization", "KernelCostModel"]
+
+
+def bandwidth_utilization(page_size: int, overhead_tokens: float = 12.0) -> float:
+    """Fraction of peak HBM bandwidth achieved when fetching KV pages.
+
+    Each page fetch pays a fixed cost (address computation through the page
+    table, dequantisation setup, partially-filled cache lines) equivalent to
+    ``overhead_tokens`` tokens of traffic, so utilisation is
+    ``page_size / (page_size + overhead_tokens)``.  With the default overhead
+    this reproduces the relative slowdowns of Table 1 (page 16 ≈ 1.5× slower
+    than page 128 when attention dominates, page 64 within a few percent).
+    """
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    if overhead_tokens < 0:
+        raise ValueError("overhead_tokens must be non-negative")
+    return page_size / (page_size + overhead_tokens)
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Latency model for the kernels that make up a serving step."""
+
+    device: DeviceSpec
+    kernel_launch_overhead_s: float = 5e-6
+    gemm_efficiency: float = 0.75
+    prefill_attention_efficiency: float = 0.40
+    decode_attention_efficiency: float = 0.85
+    page_fetch_overhead_tokens: float = 12.0
+    # Calibrated so a full decode step's selection over all layers costs
+    # ~0.24 ms at 128K context with 16-token logical pages (Fig. 14).
+    selector_cost_per_logical_page_s: float = 0.9e-9
+    selector_launch_overhead_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gemm_efficiency <= 1:
+            raise ValueError("gemm_efficiency must be in (0, 1]")
+        if not 0 < self.prefill_attention_efficiency <= 1:
+            raise ValueError("prefill_attention_efficiency must be in (0, 1]")
+        if not 0 < self.decode_attention_efficiency <= 1:
+            raise ValueError("decode_attention_efficiency must be in (0, 1]")
+
+    # -- generic GEMM -----------------------------------------------------------
+    def gemm_latency(
+        self, m: int, n: int, k: int, weight_bits: int = 16, act_bits: int = 16
+    ) -> float:
+        """Latency of an ``(m × k) @ (k × n)`` GEMM.
+
+        Compute uses the tensor-core rate of the narrower operand type; memory
+        counts the weight matrix at ``weight_bits`` plus input/output
+        activations at ``act_bits`` (decode GEMMs with ``m = batch`` are
+        weight-bandwidth-bound, which is what makes low-bit weights pay off).
+        """
+        if min(m, n, k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        flops = 2.0 * m * n * k
+        compute_bits = max(8, min(weight_bits, act_bits))
+        compute = flops / (self.device.flops_per_second(compute_bits) * self.gemm_efficiency)
+        bytes_moved = (
+            n * k * weight_bits / 8.0 + (m * k + m * n) * act_bits / 8.0
+        )
+        memory = bytes_moved / self.device.memory_bandwidth_bytes_s
+        return max(compute, memory) + self.kernel_launch_overhead_s
+
+    # -- attention ---------------------------------------------------------------
+    def prefill_attention_latency(
+        self,
+        n_q: int,
+        n_kv: int,
+        n_heads: int,
+        head_dim: int,
+        visited_fraction: float = 1.0,
+        batch: int = 1,
+        kernel_efficiency_scale: float = 1.0,
+    ) -> float:
+        """Compute-bound prefill attention for one layer.
+
+        ``visited_fraction`` is the fraction of causal tiles actually computed
+        (1.0 = dense causal attention); block sparsity reduces latency
+        proportionally (paper §3.1).  ``kernel_efficiency_scale`` lets baseline
+        kernels (e.g. MInference's) be modelled as a constant factor less
+        efficient at the same sparsity (Fig. 12).
+        """
+        if not 0.0 <= visited_fraction <= 1.0:
+            raise ValueError("visited_fraction must be in [0, 1]")
+        # Causal attention computes ~half of the full n_q x n_kv score matrix
+        # when n_q == n_kv; more generally the prefix part is fully visible.
+        causal_pairs = n_q * (n_kv - n_q) + n_q * (n_q + 1) / 2.0
+        flops = 4.0 * n_heads * head_dim * causal_pairs * visited_fraction * batch
+        rate = (
+            self.device.flops_per_second(16)
+            * self.prefill_attention_efficiency
+            * kernel_efficiency_scale
+        )
+        return flops / rate + self.kernel_launch_overhead_s
+
+    def decode_attention_latency(
+        self,
+        tokens_read: int,
+        n_kv_heads: int,
+        head_dim: int,
+        kv_bits: int = 16,
+        page_size: int = 64,
+        batch: int = 1,
+        efficiency_scale: float = 1.0,
+    ) -> float:
+        """Memory-bound decode attention for one layer.
+
+        ``tokens_read`` is the number of KV tokens actually fetched per
+        sequence (full context for dense attention, the token budget for
+        dynamic sparsity, sink+local for streaming heads).
+        """
+        if tokens_read < 0:
+            raise ValueError("tokens_read must be non-negative")
+        if tokens_read == 0:
+            return self.kernel_launch_overhead_s
+        kv_bytes = 2.0 * tokens_read * n_kv_heads * head_dim * kv_bits / 8.0
+        if kv_bits < 16:
+            # fp16 scale + zero point per token per head (QServe page layout).
+            kv_bytes += 2.0 * tokens_read * n_kv_heads * 2 * 2.0
+        utilisation = bandwidth_utilization(page_size, self.page_fetch_overhead_tokens)
+        effective_bw = (
+            self.device.memory_bandwidth_bytes_s
+            * utilisation
+            * self.decode_attention_efficiency
+            * efficiency_scale
+        )
+        return batch * kv_bytes / effective_bw + self.kernel_launch_overhead_s
+
+    # -- page selection -------------------------------------------------------------
+    def page_selector_latency(self, n_logical_pages: int, batch: int = 1) -> float:
+        """Latency of one dynamic page-selection pass for one layer.
+
+        Linear in the number of logical pages (it reads every page's K_stats
+        and runs a top-K), matching the linear growth in Fig. 14.
+        """
+        if n_logical_pages < 0:
+            raise ValueError("n_logical_pages must be non-negative")
+        if n_logical_pages == 0:
+            return 0.0
+        return (
+            self.selector_launch_overhead_s
+            + batch * n_logical_pages * self.selector_cost_per_logical_page_s
+        )
+
+    def pooling_latency(
+        self, n_tokens: int, n_kv_heads: int, head_dim: int, batch: int = 1
+    ) -> float:
+        """Min/max pooling of key statistics during prefill (§5.3: negligible)."""
+        if n_tokens <= 0:
+            return 0.0
+        bytes_read = n_tokens * n_kv_heads * head_dim * 2.0 * batch
+        return bytes_read / self.device.memory_bandwidth_bytes_s + self.kernel_launch_overhead_s

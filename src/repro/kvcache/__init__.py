@@ -1,0 +1,36 @@
+"""Paged KV-cache substrate.
+
+Implements the memory-management layer LServe builds on: a page allocator and
+per-sequence page tables (PagedAttention-style), low-bit KV quantization
+(QServe-style KV4/KV8), per-logical-page key statistics used by the
+hierarchical page selector, and the two-way paged cache that keeps separate
+page tables for dense and streaming heads (paper Fig. 5).
+"""
+
+from repro.kvcache.allocator import OutOfPagesError, PageAllocator
+from repro.kvcache.page_table import PageTable
+from repro.kvcache.quantization import (
+    QuantizedTensor,
+    dequantize,
+    quantization_error_bound,
+    quantize,
+)
+from repro.kvcache.kv_stats import PageKeyStats, compute_page_key_stats, merge_key_stats
+from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
+from repro.kvcache.dual_cache import DualPagedKVCache
+
+__all__ = [
+    "OutOfPagesError",
+    "PageAllocator",
+    "PageTable",
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "quantization_error_bound",
+    "PageKeyStats",
+    "compute_page_key_stats",
+    "merge_key_stats",
+    "PagedCacheConfig",
+    "PagedKVCache",
+    "DualPagedKVCache",
+]

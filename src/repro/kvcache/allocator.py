@@ -1,0 +1,73 @@
+"""Physical page allocator for the paged KV cache.
+
+Mirrors the block allocator of PagedAttention (vLLM): a fixed pool of
+physical pages handed out from a free list, with explicit out-of-memory
+signalling so the scheduler can apply admission control.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OutOfPagesError", "PageAllocator"]
+
+
+class OutOfPagesError(RuntimeError):
+    """Raised when the KV cache pool has no free physical pages left."""
+
+
+class PageAllocator:
+    """Free-list allocator over ``num_pages`` physical pages."""
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive, got {num_pages}")
+        self._capacity = num_pages
+        # LIFO free list: reusing recently freed pages keeps the working set hot.
+        self._free: list[int] = list(range(num_pages - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def num_allocated(self) -> int:
+        return len(self._allocated)
+
+    def can_allocate(self, n: int = 1) -> bool:
+        """Whether ``n`` pages can be allocated without raising."""
+        return self.num_free >= n
+
+    def allocate(self) -> int:
+        """Allocate one physical page; raises :class:`OutOfPagesError` if full."""
+        if not self._free:
+            raise OutOfPagesError(
+                f"KV cache exhausted: all {self._capacity} pages are allocated"
+            )
+        page = self._free.pop()
+        self._allocated.add(page)
+        return page
+
+    def allocate_many(self, n: int) -> list[int]:
+        """Allocate ``n`` pages atomically (all or nothing)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if not self.can_allocate(n):
+            raise OutOfPagesError(
+                f"cannot allocate {n} pages: only {self.num_free} free of {self._capacity}"
+            )
+        return [self.allocate() for _ in range(n)]
+
+    def free(self, page: int) -> None:
+        """Return a page to the pool."""
+        if page not in self._allocated:
+            raise ValueError(f"page {page} is not currently allocated")
+        self._allocated.remove(page)
+        self._free.append(page)
+
+    def free_many(self, pages: list[int]) -> None:
+        for page in pages:
+            self.free(page)

@@ -1,0 +1,249 @@
+"""Two-way paged KV cache: separate storage for dense and streaming heads.
+
+LServe keeps two paging systems (paper Fig. 5): dense (retrieval) heads keep
+the full KV history plus key statistics for page selection, while streaming
+heads only ever need the attention-sink tokens and a sliding window of recent
+tokens, so their cache is a constant-size buffer regardless of context length.
+Head classification happens at KV-head granularity (a whole GQA group is
+either dense or streaming), which is how DuoAttention assigns heads for GQA
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
+
+__all__ = ["StreamingKVStore", "DualPagedKVCache"]
+
+
+@dataclass
+class StreamingKVStore:
+    """Constant-memory KV store for streaming heads: sink tokens + local window.
+
+    Keeps the first ``sink_tokens`` tokens and a local window of the most
+    recent tokens (with their original positions), independent of context
+    length.  With ``eviction_granularity == 1`` the local window is exactly the
+    last ``local_tokens`` tokens (StreamingLLM semantics); with a granularity
+    equal to the KV page size, eviction happens whole pages at a time, matching
+    LServe's page-granular streaming heads ("index table only containing the
+    sink and local pages", §3.6) — the window then spans from the start of the
+    oldest retained local page to the current token.
+    """
+
+    n_kv_heads: int
+    head_dim: int
+    sink_tokens: int
+    local_tokens: int
+    eviction_granularity: int = 1
+    _sink_k: list[np.ndarray] = field(default_factory=list)
+    _sink_v: list[np.ndarray] = field(default_factory=list)
+    _local_k: list[np.ndarray] = field(default_factory=list)
+    _local_v: list[np.ndarray] = field(default_factory=list)
+    _local_pos: list[int] = field(default_factory=list)
+    _total_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sink_tokens < 0 or self.local_tokens < 1:
+            raise ValueError("sink_tokens must be >= 0 and local_tokens >= 1")
+        if self.eviction_granularity < 1:
+            raise ValueError("eviction_granularity must be >= 1")
+
+    @property
+    def local_blocks(self) -> int:
+        """Local window size in eviction-granularity blocks."""
+        return -(-self.local_tokens // self.eviction_granularity)
+
+    def _local_window_start(self, position: int) -> int:
+        """Oldest local position retained once ``position`` has been appended."""
+        g = self.eviction_granularity
+        return (position // g - self.local_blocks + 1) * g
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new tokens ``(n_new, n_kv_heads, head_dim)``."""
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        expected_tail = (self.n_kv_heads, self.head_dim)
+        if k.shape[1:] != expected_tail or v.shape != k.shape:
+            raise ValueError(f"bad streaming KV shape {k.shape} / {v.shape}")
+        for i in range(k.shape[0]):
+            pos = self._total_tokens
+            if pos < self.sink_tokens:
+                self._sink_k.append(k[i])
+                self._sink_v.append(v[i])
+            else:
+                self._local_k.append(k[i])
+                self._local_v.append(v[i])
+                self._local_pos.append(pos)
+                window_start = self._local_window_start(pos)
+                while self._local_pos and self._local_pos[0] < window_start:
+                    self._local_k.pop(0)
+                    self._local_v.pop(0)
+                    self._local_pos.pop(0)
+            self._total_tokens += 1
+
+    @property
+    def total_tokens(self) -> int:
+        """Number of tokens ever appended (context length seen so far)."""
+        return self._total_tokens
+
+    @property
+    def stored_tokens(self) -> int:
+        """Number of tokens actually held (bounded by sink + local)."""
+        return len(self._sink_k) + len(self._local_k)
+
+    def get(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return stored ``(k, v, positions)`` in position order."""
+        if self.stored_tokens == 0:
+            empty = np.zeros((0, self.n_kv_heads, self.head_dim))
+            return empty, empty.copy(), np.zeros(0, dtype=np.int64)
+        ks = self._sink_k + self._local_k
+        vs = self._sink_v + self._local_v
+        positions = list(range(len(self._sink_k))) + self._local_pos
+        return np.stack(ks), np.stack(vs), np.asarray(positions, dtype=np.int64)
+
+    def memory_bytes_model(self, bytes_per_element: float = 2.0) -> float:
+        capacity = self.sink_tokens + self.local_blocks * self.eviction_granularity
+        return 2.0 * capacity * self.n_kv_heads * self.head_dim * bytes_per_element
+
+
+class DualPagedKVCache:
+    """Two-way KV cache routing KV heads to a dense or a streaming store.
+
+    Parameters
+    ----------
+    config:
+        Paged-cache configuration.  ``n_kv_heads`` is the *total* number of KV
+        heads in the model; the dense pool is created for the dense subset.
+    streaming_head_mask:
+        Boolean array over KV heads; ``True`` marks a streaming head.
+    sink_tokens, local_tokens:
+        Λ-mask geometry used by the streaming store.
+    """
+
+    def __init__(
+        self,
+        config: PagedCacheConfig,
+        streaming_head_mask: np.ndarray,
+        sink_tokens: int,
+        local_tokens: int,
+    ) -> None:
+        mask = np.asarray(streaming_head_mask, dtype=bool)
+        if mask.shape != (config.n_kv_heads,):
+            raise ValueError(
+                f"streaming_head_mask must have shape ({config.n_kv_heads},), got {mask.shape}"
+            )
+        self.config = config
+        self.streaming_head_mask = mask
+        self.dense_head_indices = np.flatnonzero(~mask)
+        self.streaming_head_indices = np.flatnonzero(mask)
+        self.sink_tokens = sink_tokens
+        self.local_tokens = local_tokens
+
+        self.dense_cache: PagedKVCache | None = None
+        if self.dense_head_indices.size:
+            dense_cfg = PagedCacheConfig(
+                n_layers=config.n_layers,
+                n_kv_heads=int(self.dense_head_indices.size),
+                head_dim=config.head_dim,
+                page_size=config.page_size,
+                num_pages=config.num_pages,
+                kv_bits=config.kv_bits,
+                logical_page_size=config.logical_page_size,
+            )
+            self.dense_cache = PagedKVCache(dense_cfg)
+        # (seq_id, layer) -> StreamingKVStore
+        self._streaming: dict[tuple[object, int], StreamingKVStore] = {}
+        self._seq_ids: set[object] = set()
+
+    # -- sequence management ---------------------------------------------------
+    def add_sequence(self, seq_id: object) -> None:
+        if seq_id in self._seq_ids:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        self._seq_ids.add(seq_id)
+        if self.dense_cache is not None:
+            self.dense_cache.add_sequence(seq_id)
+        if self.streaming_head_indices.size:
+            for layer in range(self.config.n_layers):
+                self._streaming[(seq_id, layer)] = StreamingKVStore(
+                    n_kv_heads=int(self.streaming_head_indices.size),
+                    head_dim=self.config.head_dim,
+                    sink_tokens=self.sink_tokens,
+                    local_tokens=self.local_tokens,
+                    eviction_granularity=self.config.page_size,
+                )
+
+    def remove_sequence(self, seq_id: object) -> None:
+        if seq_id not in self._seq_ids:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        self._seq_ids.remove(seq_id)
+        if self.dense_cache is not None:
+            self.dense_cache.remove_sequence(seq_id)
+        for layer in range(self.config.n_layers):
+            self._streaming.pop((seq_id, layer), None)
+
+    def has_sequence(self, seq_id: object) -> bool:
+        return seq_id in self._seq_ids
+
+    def seq_len(self, seq_id: object) -> int:
+        if seq_id not in self._seq_ids:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        if self.dense_cache is not None:
+            return self.dense_cache.seq_len(seq_id)
+        return self._streaming[(seq_id, 0)].total_tokens
+
+    # -- writes ------------------------------------------------------------------
+    def append(self, seq_id: object, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append all-KV-head keys/values; heads are routed to the two stores."""
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if k.shape[1] != self.config.n_kv_heads:
+            raise ValueError(
+                f"expected {self.config.n_kv_heads} KV heads, got {k.shape[1]}"
+            )
+        if self.dense_cache is not None:
+            self.dense_cache.append(
+                seq_id, layer, k[:, self.dense_head_indices], v[:, self.dense_head_indices]
+            )
+        if self.streaming_head_indices.size:
+            self._streaming[(seq_id, layer)].append(
+                k[:, self.streaming_head_indices], v[:, self.streaming_head_indices]
+            )
+
+    # -- reads ---------------------------------------------------------------------
+    def get_dense(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Full KV history of the dense KV heads."""
+        if self.dense_cache is None:
+            empty = np.zeros((0, 0, self.config.head_dim))
+            return empty, empty.copy()
+        return self.dense_cache.get(seq_id, layer)
+
+    def get_streaming(
+        self, seq_id: object, layer: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sink + local KV of the streaming KV heads, with original positions."""
+        if not self.streaming_head_indices.size:
+            empty = np.zeros((0, 0, self.config.head_dim))
+            return empty, empty.copy(), np.zeros(0, dtype=np.int64)
+        return self._streaming[(seq_id, layer)].get()
+
+    def dense_key_stats(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        if self.dense_cache is None:
+            empty = np.zeros((0, 0, self.config.head_dim))
+            return empty, empty.copy()
+        return self.dense_cache.key_stats(seq_id, layer)
+
+    # -- accounting -------------------------------------------------------------------
+    def memory_bytes_model(self, seq_id: object | None = None) -> float:
+        """Modelled KV memory across both stores."""
+        total = 0.0
+        if self.dense_cache is not None:
+            total += self.dense_cache.memory_bytes_model(seq_id)
+        stores = (
+            [s for (sid, _), s in self._streaming.items() if seq_id is None or sid == seq_id]
+        )
+        total += sum(s.memory_bytes_model() for s in stores)
+        return total

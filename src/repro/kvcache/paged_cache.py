@@ -1,0 +1,289 @@
+"""Paged KV cache with KV quantization and per-logical-page key statistics.
+
+Functional model of the QServe/vLLM KV cache that LServe extends:
+
+* KV history is stored in fixed-size physical pages handed out by a
+  :class:`~repro.kvcache.allocator.PageAllocator` and addressed through a
+  per-sequence :class:`~repro.kvcache.page_table.PageTable`.
+* Keys/values pass through asymmetric KV4/KV8 quantization on write
+  (``kv_bits``), so downstream attention sees the quantized values — the
+  numerical effect of low-bit KV is preserved.  The *storage* arrays keep the
+  dequantized floats for vectorised gathers; the byte footprint of the real
+  layout (codes + scales/zeros + key stats) is reported by
+  :meth:`PagedKVCache.memory_bytes_model`, which is what the cost model and
+  memory experiments consume.
+* Channel-wise min/max key statistics are maintained per *logical* page
+  (``logical_page_size`` tokens), the granularity used by the hierarchical
+  page selector (paper §3.5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kvcache.allocator import PageAllocator
+from repro.kvcache.kv_stats import PageKeyStats
+from repro.kvcache.page_table import PageTable
+from repro.kvcache.quantization import SUPPORTED_BITS, dequantize, quantize
+
+__all__ = ["PagedCacheConfig", "PagedKVCache"]
+
+
+@dataclass(frozen=True)
+class PagedCacheConfig:
+    """Static configuration of a paged KV cache pool."""
+
+    n_layers: int
+    n_kv_heads: int
+    head_dim: int
+    page_size: int = 64
+    num_pages: int = 4096
+    kv_bits: int = 16
+    logical_page_size: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("n_layers", "n_kv_heads", "head_dim", "page_size", "num_pages"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.kv_bits not in SUPPORTED_BITS:
+            raise ValueError(f"kv_bits must be one of {SUPPORTED_BITS}")
+        lps = self.logical_page_size
+        if lps is not None:
+            if lps <= 0:
+                raise ValueError("logical_page_size must be positive")
+            if self.page_size % lps != 0:
+                raise ValueError(
+                    f"page_size ({self.page_size}) must be a multiple of "
+                    f"logical_page_size ({lps})"
+                )
+
+    @property
+    def effective_logical_page_size(self) -> int:
+        return self.logical_page_size or self.page_size
+
+    @property
+    def logical_pages_per_physical(self) -> int:
+        return self.page_size // self.effective_logical_page_size
+
+
+class PagedKVCache:
+    """Multi-sequence paged KV cache (one pool shared by all sequences)."""
+
+    def __init__(self, config: PagedCacheConfig) -> None:
+        self.config = config
+        self.allocator = PageAllocator(config.num_pages)
+        # Per-layer physical storage: (num_pages, page_size, n_kv_heads, head_dim).
+        shape = (config.num_pages, config.page_size, config.n_kv_heads, config.head_dim)
+        self._k_store = [np.zeros(shape) for _ in range(config.n_layers)]
+        self._v_store = [np.zeros(shape) for _ in range(config.n_layers)]
+        self._tables: dict[object, PageTable] = {}
+        self._tokens: dict[tuple[object, int], int] = {}
+        # Per (sequence, layer): key stats per logical page, in order.
+        self._key_stats: dict[tuple[object, int], list[PageKeyStats]] = {}
+
+    # -- sequence management -------------------------------------------------
+    def add_sequence(self, seq_id: object) -> None:
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        self._tables[seq_id] = PageTable(page_size=self.config.page_size)
+        for layer in range(self.config.n_layers):
+            self._tokens[(seq_id, layer)] = 0
+            self._key_stats[(seq_id, layer)] = []
+
+    def remove_sequence(self, seq_id: object) -> None:
+        table = self._table(seq_id)
+        self.allocator.free_many(list(table.pages))
+        del self._tables[seq_id]
+        for layer in range(self.config.n_layers):
+            del self._tokens[(seq_id, layer)]
+            del self._key_stats[(seq_id, layer)]
+
+    def has_sequence(self, seq_id: object) -> bool:
+        return seq_id in self._tables
+
+    def sequences(self) -> list[object]:
+        return list(self._tables)
+
+    def _table(self, seq_id: object) -> PageTable:
+        if seq_id not in self._tables:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        return self._tables[seq_id]
+
+    def page_table(self, seq_id: object) -> PageTable:
+        """The sequence's page table (read-mostly; mutate via cache methods)."""
+        return self._table(seq_id)
+
+    def seq_len(self, seq_id: object, layer: int = 0) -> int:
+        self._table(seq_id)
+        return self._tokens[(seq_id, layer)]
+
+    # -- writes ----------------------------------------------------------------
+    def append(self, seq_id: object, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new tokens' keys/values for one layer.
+
+        ``k`` and ``v`` have shape ``(n_new, n_kv_heads, head_dim)``.  Physical
+        pages are allocated on demand and shared by all layers of the sequence.
+        """
+        cfg = self.config
+        table = self._table(seq_id)
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        expected = (k.shape[0], cfg.n_kv_heads, cfg.head_dim)
+        if k.shape != expected or v.shape != expected:
+            raise ValueError(
+                f"k/v must have shape (n_new, {cfg.n_kv_heads}, {cfg.head_dim}); "
+                f"got {k.shape} and {v.shape}"
+            )
+        n_new = k.shape[0]
+        if n_new == 0:
+            return
+        if not 0 <= layer < cfg.n_layers:
+            raise IndexError(f"layer {layer} out of range")
+
+        start = self._tokens[(seq_id, layer)]
+        end = start + n_new
+        # Grow the shared page table if this layer outruns its capacity.
+        capacity = table.num_pages * cfg.page_size
+        if end > capacity:
+            pages_needed = (end - capacity + cfg.page_size - 1) // cfg.page_size
+            table.append_pages(self.allocator.allocate_many(pages_needed))
+        if end > table.num_tokens:
+            table.num_tokens = end
+
+        # Simulate low-bit storage: quantize then dequantize before writing.
+        if cfg.kv_bits < 16:
+            k_stored = dequantize(quantize(k, cfg.kv_bits))
+            v_stored = dequantize(quantize(v, cfg.kv_bits))
+        else:
+            k_stored, v_stored = k, v
+
+        for offset in range(n_new):
+            token_index = start + offset
+            page = table.pages[token_index // cfg.page_size]
+            slot = token_index % cfg.page_size
+            self._k_store[layer][page, slot] = k_stored[offset]
+            self._v_store[layer][page, slot] = v_stored[offset]
+
+        self._tokens[(seq_id, layer)] = end
+        self._update_key_stats(seq_id, layer, start, k)
+
+    def _update_key_stats(
+        self, seq_id: object, layer: int, start: int, new_keys: np.ndarray
+    ) -> None:
+        lps = self.config.effective_logical_page_size
+        stats = self._key_stats[(seq_id, layer)]
+        n_new = new_keys.shape[0]
+        offset = 0
+        while offset < n_new:
+            token_index = start + offset
+            page_idx = token_index // lps
+            within = token_index % lps
+            take = min(lps - within, n_new - offset)
+            chunk = new_keys[offset : offset + take]
+            if page_idx == len(stats):
+                stats.append(
+                    PageKeyStats(
+                        kmin=chunk.min(axis=0), kmax=chunk.max(axis=0), n_tokens=take
+                    )
+                )
+            else:
+                stats[page_idx].update(chunk)
+            offset += take
+
+    # -- reads -----------------------------------------------------------------
+    def get(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return all cached keys/values of shape ``(n_tokens, n_kv_heads, head_dim)``."""
+        table = self._table(seq_id)
+        n_tokens = self._tokens[(seq_id, layer)]
+        return self._gather_token_range(table, layer, n_tokens)
+
+    def _gather_token_range(
+        self, table: PageTable, layer: int, n_tokens: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        if n_tokens == 0:
+            empty = np.zeros((0, cfg.n_kv_heads, cfg.head_dim))
+            return empty, empty.copy()
+        n_pages = (n_tokens + cfg.page_size - 1) // cfg.page_size
+        page_ids = np.asarray(table.pages[:n_pages], dtype=np.intp)
+        k = self._k_store[layer][page_ids].reshape(-1, cfg.n_kv_heads, cfg.head_dim)
+        v = self._v_store[layer][page_ids].reshape(-1, cfg.n_kv_heads, cfg.head_dim)
+        return k[:n_tokens], v[:n_tokens]
+
+    def gather_pages(
+        self, seq_id: object, layer: int, page_positions: list[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather the tokens of the selected *logical physical-page positions*.
+
+        ``page_positions`` index into the sequence's page table (position 0 is
+        the oldest page).  Returns ``(k, v, token_positions)`` where
+        ``token_positions`` are the original token indices of the gathered
+        tokens — this is the "shorter page table" handed to the decode
+        attention kernel (paper §3.2).
+        """
+        cfg = self.config
+        table = self._table(seq_id)
+        n_tokens = self._tokens[(seq_id, layer)]
+        positions = np.asarray(sorted(set(int(p) for p in np.asarray(page_positions).ravel())))
+        if positions.size and (positions.min() < 0 or positions.max() >= table.num_pages):
+            raise IndexError("page position out of range")
+        ks, vs, toks = [], [], []
+        for pos in positions:
+            page = table.pages[pos]
+            start_tok = pos * cfg.page_size
+            fill = min(cfg.page_size, n_tokens - start_tok)
+            if fill <= 0:
+                continue
+            ks.append(self._k_store[layer][page, :fill])
+            vs.append(self._v_store[layer][page, :fill])
+            toks.append(np.arange(start_tok, start_tok + fill))
+        if not ks:
+            empty = np.zeros((0, cfg.n_kv_heads, cfg.head_dim))
+            return empty, empty.copy(), np.zeros(0, dtype=np.int64)
+        return np.concatenate(ks), np.concatenate(vs), np.concatenate(toks)
+
+    def key_stats(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-logical-page key statistics as stacked arrays.
+
+        Returns ``(kmin, kmax)`` with shape
+        ``(n_logical_pages, n_kv_heads, head_dim)``.
+        """
+        stats = self._key_stats[(seq_id, layer)]
+        cfg = self.config
+        if not stats:
+            empty = np.zeros((0, cfg.n_kv_heads, cfg.head_dim))
+            return empty, empty.copy()
+        kmin = np.stack([s.kmin for s in stats])
+        kmax = np.stack([s.kmax for s in stats])
+        return kmin, kmax
+
+    def num_logical_pages(self, seq_id: object, layer: int = 0) -> int:
+        return len(self._key_stats[(seq_id, layer)])
+
+    # -- accounting --------------------------------------------------------------
+    def memory_bytes_model(self, seq_id: object | None = None) -> float:
+        """Modelled KV memory footprint in bytes.
+
+        Counts, per allocated page and layer: quantized K and V codes, their
+        fp16 scales/zero-points (for ``kv_bits < 16``), and the fp16 key-stat
+        vectors attached to each logical page.
+        """
+        cfg = self.config
+        if seq_id is None:
+            pages = sum(t.num_pages for t in self._tables.values())
+        else:
+            pages = self._table(seq_id).num_pages
+        elems_per_page = cfg.page_size * cfg.n_kv_heads * cfg.head_dim
+        if cfg.kv_bits == 16:
+            kv_bytes = 2 * elems_per_page * 2.0
+        else:
+            kv_bytes = 2 * (
+                elems_per_page * cfg.kv_bits / 8.0
+                + cfg.page_size * cfg.n_kv_heads * 2 * 2.0  # scale + zero, fp16
+            )
+        stats_bytes = (
+            cfg.logical_pages_per_physical * cfg.n_kv_heads * cfg.head_dim * 2 * 2.0
+        )
+        return pages * cfg.n_layers * (kv_bytes + stats_bytes)

@@ -1,0 +1,32 @@
+"""Model substrate: architecture configs, synthetic weights, toy tokenizer and
+a runnable NumPy transformer used for functional end-to-end tests."""
+
+from repro.model.configs import (
+    ModelConfig,
+    LLAMA_3_8B,
+    LLAMA_2_7B,
+    MINITRON_4B,
+    DS_R1_LLAMA_8B,
+    MODEL_REGISTRY,
+    get_model_config,
+    tiny_model_config,
+)
+from repro.model.tokenizer import ToyTokenizer
+from repro.model.weights import SyntheticWeights
+from repro.model.transformer import TinyTransformer, KVCacheProtocol, SimpleKVCache
+
+__all__ = [
+    "ModelConfig",
+    "LLAMA_3_8B",
+    "LLAMA_2_7B",
+    "MINITRON_4B",
+    "DS_R1_LLAMA_8B",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "tiny_model_config",
+    "ToyTokenizer",
+    "SyntheticWeights",
+    "TinyTransformer",
+    "KVCacheProtocol",
+    "SimpleKVCache",
+]

@@ -1,0 +1,18 @@
+"""Serving framework: requests, continuous-batching scheduler, metrics, and a
+serving-loop simulator driven by the GPU cost model."""
+
+from repro.serving.request import Request, RequestState, RequestStatus
+from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from repro.serving.metrics import ServingMetrics, RequestRecord
+from repro.serving.server import ServingSimulator
+
+__all__ = [
+    "Request",
+    "RequestState",
+    "RequestStatus",
+    "ContinuousBatchingScheduler",
+    "SchedulerConfig",
+    "ServingMetrics",
+    "RequestRecord",
+    "ServingSimulator",
+]

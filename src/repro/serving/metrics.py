@@ -1,0 +1,81 @@
+"""Serving metrics: TTFT, per-token latency, throughput."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RequestRecord", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timing of one completed request."""
+
+    request_id: str
+    arrival_time_s: float
+    prefill_finish_time_s: float
+    finish_time_s: float
+    prompt_tokens: int
+    generated_tokens: int
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token (queueing + prefill)."""
+        return self.prefill_finish_time_s - self.arrival_time_s
+
+    @property
+    def decode_time_s(self) -> float:
+        return self.finish_time_s - self.prefill_finish_time_s
+
+    @property
+    def time_per_output_token_s(self) -> float:
+        if self.generated_tokens == 0:
+            return 0.0
+        return self.decode_time_s / self.generated_tokens
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate statistics over a set of completed requests."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+
+    def add(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def _require_records(self) -> None:
+        if not self.records:
+            raise ValueError("no completed requests recorded")
+
+    def mean_ttft_s(self) -> float:
+        self._require_records()
+        return float(np.mean([r.ttft_s for r in self.records]))
+
+    def percentile_ttft_s(self, percentile: float) -> float:
+        self._require_records()
+        return float(np.percentile([r.ttft_s for r in self.records], percentile))
+
+    def mean_time_per_output_token_s(self) -> float:
+        self._require_records()
+        return float(np.mean([r.time_per_output_token_s for r in self.records]))
+
+    def total_generated_tokens(self) -> int:
+        return int(sum(r.generated_tokens for r in self.records))
+
+    def makespan_s(self) -> float:
+        self._require_records()
+        start = min(r.arrival_time_s for r in self.records)
+        end = max(r.finish_time_s for r in self.records)
+        return end - start
+
+    def generation_throughput_tokens_s(self) -> float:
+        """Generated tokens per wall-clock second across the whole run."""
+        span = self.makespan_s()
+        if span <= 0:
+            return float("inf")
+        return self.total_generated_tokens() / span

@@ -1,0 +1,71 @@
+"""Request and per-sequence state for the serving simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Request", "RequestStatus", "RequestState"]
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a request inside the serving system."""
+
+    WAITING = "waiting"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class Request:
+    """An inference request: a prompt length and a generation budget."""
+
+    request_id: str
+    prompt_tokens: int
+    max_new_tokens: int
+    arrival_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if self.arrival_time_s < 0:
+            raise ValueError("arrival_time_s must be non-negative")
+
+
+@dataclass
+class RequestState:
+    """Mutable serving state of one request."""
+
+    request: Request
+    status: RequestStatus = RequestStatus.WAITING
+    generated_tokens: int = 0
+    prefill_finish_time_s: float | None = None
+    finish_time_s: float | None = None
+
+    @property
+    def context_length(self) -> int:
+        """Tokens currently held in the KV cache for this request."""
+        if self.status is RequestStatus.WAITING:
+            return 0
+        return self.request.prompt_tokens + self.generated_tokens
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status is RequestStatus.FINISHED
+
+    def record_prefill(self, now_s: float) -> None:
+        if self.status is not RequestStatus.WAITING:
+            raise ValueError(f"cannot prefill request in status {self.status}")
+        self.status = RequestStatus.DECODING
+        self.prefill_finish_time_s = now_s
+
+    def record_decode_token(self, now_s: float) -> None:
+        if self.status is not RequestStatus.DECODING:
+            raise ValueError(f"cannot decode request in status {self.status}")
+        self.generated_tokens += 1
+        if self.generated_tokens >= self.request.max_new_tokens:
+            self.status = RequestStatus.FINISHED
+            self.finish_time_s = now_s

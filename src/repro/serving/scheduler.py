@@ -1,0 +1,105 @@
+"""FCFS continuous-batching scheduler with KV-memory admission control.
+
+Models the scheduling behaviour shared by vLLM / QServe / LServe: new requests
+are admitted in arrival order whenever (a) a decode batch slot is free and
+(b) their KV cache fits in the remaining page pool; admitted requests are
+prefilled one at a time and then join the running decode batch (iteration-level
+/ continuous batching, as in Orca).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serving.request import Request, RequestState, RequestStatus
+
+__all__ = ["SchedulerConfig", "ContinuousBatchingScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Static limits of the scheduler."""
+
+    max_batch_size: int = 8
+    kv_token_capacity: int = 1_048_576
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.kv_token_capacity <= 0:
+            raise ValueError("kv_token_capacity must be positive")
+
+
+class ContinuousBatchingScheduler:
+    """First-come-first-served continuous batching."""
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+        self._waiting: list[RequestState] = []
+        self._running: list[RequestState] = []
+        self._finished: list[RequestState] = []
+
+    # -- queue management -------------------------------------------------------
+    def submit(self, request: Request) -> RequestState:
+        state = RequestState(request=request)
+        self._waiting.append(state)
+        return state
+
+    @property
+    def waiting(self) -> list[RequestState]:
+        return list(self._waiting)
+
+    @property
+    def running(self) -> list[RequestState]:
+        return list(self._running)
+
+    @property
+    def finished(self) -> list[RequestState]:
+        return list(self._finished)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    def kv_tokens_in_use(self) -> int:
+        """KV tokens currently materialised by running requests."""
+        return sum(s.context_length for s in self._running)
+
+    def kv_tokens_reserved(self) -> int:
+        """KV tokens reserved by admitted requests (prompt + generation budget).
+
+        Admission reserves the whole prompt plus the generation budget so a
+        running request can never run out of pages mid-generation.
+        """
+        return sum(
+            s.request.prompt_tokens + s.request.max_new_tokens for s in self._running
+        )
+
+    def _kv_tokens_if_admitted(self, state: RequestState) -> int:
+        return (
+            self.kv_tokens_reserved()
+            + state.request.prompt_tokens
+            + state.request.max_new_tokens
+        )
+
+    def schedule_prefill(self) -> RequestState | None:
+        """Pop the next admissible waiting request (to be prefilled), if any."""
+        if not self._waiting or len(self._running) >= self.config.max_batch_size:
+            return None
+        head = self._waiting[0]
+        if self._kv_tokens_if_admitted(head) > self.config.kv_token_capacity:
+            return None
+        self._waiting.pop(0)
+        self._running.append(head)
+        return head
+
+    def decode_batch(self) -> list[RequestState]:
+        """The requests that take part in the next decode iteration."""
+        return [s for s in self._running if s.status is RequestStatus.DECODING]
+
+    def retire_finished(self) -> list[RequestState]:
+        """Move finished requests out of the running batch, freeing their KV."""
+        done = [s for s in self._running if s.is_finished]
+        self._running = [s for s in self._running if not s.is_finished]
+        self._finished.extend(done)
+        return done

@@ -1,0 +1,116 @@
+"""Tests for the dense GQA attention reference."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import attention_weights, dense_attention, repeat_kv
+from repro.attention.masks import causal_mask, streaming_mask
+from tests.conftest import random_qkv
+
+
+class TestRepeatKV:
+    def test_mha_identity(self, rng):
+        kv = rng.normal(size=(5, 4, 8))
+        np.testing.assert_array_equal(repeat_kv(kv, 4), kv)
+
+    def test_gqa_expansion(self, rng):
+        kv = rng.normal(size=(3, 2, 8))
+        out = repeat_kv(kv, 6)
+        assert out.shape == (3, 6, 8)
+        # Heads 0-2 replicate KV head 0; heads 3-5 replicate KV head 1.
+        for h in range(3):
+            np.testing.assert_array_equal(out[:, h], kv[:, 0])
+        for h in range(3, 6):
+            np.testing.assert_array_equal(out[:, h], kv[:, 1])
+
+    def test_invalid_group(self, rng):
+        kv = rng.normal(size=(3, 3, 8))
+        with pytest.raises(ValueError):
+            repeat_kv(kv, 4)
+
+
+class TestAttentionWeights:
+    def test_rows_sum_to_one(self, rng):
+        q, k, _ = random_qkv(rng, 4, 8)
+        probs = attention_weights(q, k, causal=False)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+    def test_causal_zeroes_future(self, rng):
+        q, k, _ = random_qkv(rng, 6, 6)
+        probs = attention_weights(q, k, causal=True)
+        future = ~causal_mask(6, 6)
+        assert np.all(probs[:, future] == 0.0)
+
+    def test_uniform_when_keys_identical(self, rng):
+        q = rng.normal(size=(1, 2, 8))
+        k = np.tile(rng.normal(size=(1, 1, 8)), (4, 2, 1))
+        probs = attention_weights(q, k, causal=False)
+        np.testing.assert_allclose(probs, 0.25)
+
+    def test_custom_scale(self, rng):
+        q, k, _ = random_qkv(rng, 2, 4)
+        p1 = attention_weights(q, k, causal=False, scale=1.0)
+        p2 = attention_weights(q, k, causal=False, scale=0.0)
+        np.testing.assert_allclose(p2, 1.0 / 4)
+        assert not np.allclose(p1, p2)
+
+    def test_bad_mask_shape(self, rng):
+        q, k, _ = random_qkv(rng, 2, 4)
+        with pytest.raises(ValueError):
+            attention_weights(q, k, mask=np.ones((3, 3), dtype=bool))
+
+
+class TestDenseAttention:
+    def test_output_shape(self, rng):
+        q, k, v = random_qkv(rng, 4, 9)
+        out = dense_attention(q, k, v)
+        assert out.shape == (4, 4, 16)
+
+    def test_single_key_returns_value(self, rng):
+        q = rng.normal(size=(1, 2, 8))
+        k = rng.normal(size=(1, 2, 8))
+        v = rng.normal(size=(1, 2, 8))
+        out = dense_attention(q, k, v, causal=False)
+        np.testing.assert_allclose(out[0], v[0], rtol=1e-10)
+
+    def test_matches_explicit_loop(self, rng):
+        """Cross-check against a plain per-head loop implementation."""
+        q, k, v = random_qkv(rng, 5, 5, n_heads=4, n_kv_heads=4, head_dim=8)
+        out = dense_attention(q, k, v, causal=True)
+        scale = 1.0 / np.sqrt(8)
+        for h in range(4):
+            scores = q[:, h, :] @ k[:, h, :].T * scale
+            scores = np.where(causal_mask(5, 5), scores, -np.inf)
+            probs = np.exp(scores - scores.max(axis=1, keepdims=True))
+            probs /= probs.sum(axis=1, keepdims=True)
+            np.testing.assert_allclose(out[:, h, :], probs @ v[:, h, :], rtol=1e-8)
+
+    def test_gqa_equivalent_to_expanded_mha(self, rng):
+        q, k, v = random_qkv(rng, 4, 6, n_heads=4, n_kv_heads=2)
+        out_gqa = dense_attention(q, k, v)
+        out_mha = dense_attention(q, repeat_kv(k, 4), repeat_kv(v, 4))
+        np.testing.assert_allclose(out_gqa, out_mha, rtol=1e-12)
+
+    def test_streaming_mask_ignores_middle_tokens(self, rng):
+        n = 12
+        q, k, v = random_qkv(rng, n, n)
+        mask = streaming_mask(n, n, sink=2, local=2)
+        out = dense_attention(q, k, v, mask=mask)
+        # Changing a middle value token must not change the last query's output.
+        v2 = v.copy()
+        v2[5] += 10.0
+        out2 = dense_attention(q, k, v2, mask=mask)
+        np.testing.assert_allclose(out[-1], out2[-1], rtol=1e-12)
+
+    def test_mismatched_kv_shapes(self, rng):
+        q, k, v = random_qkv(rng, 2, 4)
+        with pytest.raises(ValueError):
+            dense_attention(q, k, v[:-1])
+
+    def test_convex_combination_of_values(self, rng):
+        """Attention output lies within the per-dimension value range."""
+        q, k, v = random_qkv(rng, 3, 7, n_heads=2, n_kv_heads=2, head_dim=4)
+        out = dense_attention(q, k, v, causal=False)
+        vmin, vmax = v.min(axis=0), v.max(axis=0)
+        assert np.all(out >= vmin[None] - 1e-9)
+        assert np.all(out <= vmax[None] + 1e-9)

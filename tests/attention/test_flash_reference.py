@@ -1,0 +1,111 @@
+"""Tests for the block-wise online-softmax attention kernel model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.dense import dense_attention
+from repro.attention.flash_reference import blockwise_attention
+from repro.attention.masks import (
+    block_causal_mask,
+    block_streaming_mask,
+    mask_from_block_mask,
+)
+from tests.conftest import random_qkv
+
+
+class TestBlockwiseDenseEquivalence:
+    @pytest.mark.parametrize("n_q,n_kv,qb,kb", [(16, 16, 4, 4), (7, 13, 4, 4), (1, 32, 1, 8), (20, 20, 8, 16)])
+    def test_matches_dense_causal(self, rng, n_q, n_kv, qb, kb):
+        q, k, v = random_qkv(rng, n_q, n_kv)
+        res = blockwise_attention(q, k, v, qb, kb)
+        expected = dense_attention(q, k, v, causal=True)
+        np.testing.assert_allclose(res.output, expected, rtol=1e-8, atol=1e-10)
+
+    def test_matches_dense_noncausal(self, rng):
+        q, k, v = random_qkv(rng, 8, 8)
+        res = blockwise_attention(q, k, v, 4, 4, causal=False)
+        expected = dense_attention(q, k, v, causal=False)
+        np.testing.assert_allclose(res.output, expected, rtol=1e-8)
+
+    def test_full_mask_zero_sparsity(self, rng):
+        q, k, v = random_qkv(rng, 16, 16)
+        res = blockwise_attention(q, k, v, 4, 4)
+        assert res.visited_blocks == res.total_blocks
+        assert res.block_sparsity == 0.0
+
+    @given(
+        n_q=st.integers(1, 24),
+        extra_kv=st.integers(0, 24),
+        qb=st.sampled_from([1, 4, 8]),
+        kb=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_dense_equivalence(self, n_q, extra_kv, qb, kb):
+        rng = np.random.default_rng(n_q * 100 + extra_kv)
+        n_kv = n_q + extra_kv
+        q, k, v = random_qkv(rng, n_q, n_kv)
+        res = blockwise_attention(q, k, v, qb, kb)
+        expected = dense_attention(q, k, v, causal=True)
+        np.testing.assert_allclose(res.output, expected, rtol=1e-7, atol=1e-9)
+
+
+class TestBlockSkipping:
+    def test_block_mask_matches_expanded_token_mask(self, rng):
+        n = 32
+        blk = 8
+        q, k, v = random_qkv(rng, n, n)
+        bmask = block_streaming_mask(n, n, blk, blk, sink_blocks=1, local_blocks=2)
+        res = blockwise_attention(q, k, v, blk, blk, block_mask=bmask)
+        token_mask = mask_from_block_mask(bmask, n, n, blk, blk, causal=True)
+        expected = dense_attention(q, k, v, mask=token_mask)
+        np.testing.assert_allclose(res.output, expected, rtol=1e-8, atol=1e-10)
+
+    def test_skipped_blocks_reduce_visits(self, rng):
+        n = 64
+        blk = 16
+        q, k, v = random_qkv(rng, n, n)
+        bmask = block_streaming_mask(n, n, blk, blk, sink_blocks=1, local_blocks=1)
+        res = blockwise_attention(q, k, v, blk, blk, block_mask=bmask)
+        dense = blockwise_attention(q, k, v, blk, blk)
+        assert res.visited_blocks < dense.visited_blocks
+        assert 0.0 < res.block_sparsity < 1.0
+
+    def test_per_head_block_masks(self, rng):
+        n = 32
+        blk = 8
+        q, k, v = random_qkv(rng, n, n, n_heads=2, n_kv_heads=2)
+        full = block_causal_mask(n, n, blk, blk)
+        stream = block_streaming_mask(n, n, blk, blk, 1, 1)
+        per_head = np.stack([full, stream])
+        res = blockwise_attention(q, k, v, blk, blk, block_mask=per_head)
+        # Head 0 behaves densely, head 1 follows the streaming pattern.
+        dense_out = dense_attention(q, k, v, causal=True)
+        np.testing.assert_allclose(res.output[:, 0], dense_out[:, 0], rtol=1e-8)
+        token_mask = mask_from_block_mask(stream, n, n, blk, blk)
+        stream_out = dense_attention(q, k, v, mask=token_mask)
+        np.testing.assert_allclose(res.output[:, 1], stream_out[:, 1], rtol=1e-8)
+
+    def test_all_blocks_skipped_gives_zero_output(self, rng):
+        q, k, v = random_qkv(rng, 8, 8)
+        bmask = np.zeros((2, 2), dtype=bool)
+        res = blockwise_attention(q, k, v, 4, 4, block_mask=bmask)
+        np.testing.assert_array_equal(res.output, np.zeros_like(res.output))
+        assert res.visited_blocks == 0
+
+    def test_invalid_block_mask_shape(self, rng):
+        q, k, v = random_qkv(rng, 8, 8)
+        with pytest.raises(ValueError):
+            blockwise_attention(q, k, v, 4, 4, block_mask=np.ones((3, 3), dtype=bool))
+
+    def test_theoretical_speedup_matches_block_count(self, rng):
+        """Paper §3.1: speedup of block sparse attention is 1 / (1 - r)."""
+        n = 128
+        blk = 16
+        q, k, v = random_qkv(rng, n, n)
+        bmask = block_streaming_mask(n, n, blk, blk, 1, 2)
+        res = blockwise_attention(q, k, v, blk, blk, block_mask=bmask)
+        r = res.block_sparsity
+        speedup = res.total_blocks / res.visited_blocks
+        np.testing.assert_allclose(speedup, 1.0 / (1.0 - r), rtol=1e-12)

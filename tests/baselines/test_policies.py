@@ -1,0 +1,109 @@
+"""Tests for baseline system policies."""
+
+import pytest
+
+from repro.baselines.policy import SystemPolicy
+from repro.baselines.systems import (
+    all_decode_baselines,
+    all_prefill_baselines,
+    dense_fp16_policy,
+    duo_attention_policy,
+    lserve_dynamic_only_policy,
+    lserve_policy,
+    lserve_static_only_policy,
+    minference_policy,
+    qserve_policy,
+    quest_policy,
+    streaming_llm_policy,
+    vllm_policy,
+)
+
+
+class TestSystemPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(weight_bits=3),
+            dict(kv_bits=2),
+            dict(page_size=0),
+            dict(page_size=64, logical_page_size=48),
+            dict(streaming_head_ratio=1.5),
+            dict(decode_token_budget=0),
+            dict(reuse_interval=0),
+            dict(prefill_sparsity_level=1.0),
+            dict(per_step_overhead_s=-1.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SystemPolicy(name="bad", **kwargs)
+
+    def test_defaults_are_dense(self):
+        p = SystemPolicy(name="plain")
+        assert not p.has_dynamic_decode_sparsity
+        assert not p.has_static_sparsity
+        assert p.dense_decode_tokens(100_000) == 100_000
+        assert p.prefill_visited_fraction(100_000) == 1.0
+
+
+class TestPolicyBehaviour:
+    def test_lserve_budget_caps_decode_tokens(self):
+        p = lserve_policy(token_budget=4096)
+        assert p.dense_decode_tokens(262_144) == 4096
+        assert p.dense_decode_tokens(1024) == 1024
+
+    def test_lserve_prefill_fraction_halves_with_streaming_heads(self):
+        p = lserve_policy()
+        frac = p.prefill_visited_fraction(65_536)
+        assert 0.5 < frac < 0.55  # 50% dense heads + tiny streaming window
+
+    def test_lserve_prefill_dynamic_sparsity_kicks_in_after_threshold(self):
+        p = lserve_policy()
+        assert p.prefill_visited_fraction(262_144) < p.prefill_visited_fraction(65_536) * 0.6
+
+    def test_minference_prefill_sparse_but_dense_decode(self):
+        p = minference_policy()
+        assert p.prefill_visited_fraction(65_536) < 0.5
+        assert p.dense_decode_tokens(65_536) == 65_536
+
+    def test_streaming_llm_all_heads_streaming(self):
+        p = streaming_llm_policy()
+        assert p.streaming_head_ratio == 1.0
+        assert p.prefill_visited_fraction(1_000_000) < 0.01
+
+    def test_quest_flags(self):
+        p = quest_policy()
+        assert not p.supports_gqa
+        assert p.has_dynamic_decode_sparsity
+        assert p.effective_logical_page_size == 16
+
+    def test_quantization_choices(self):
+        assert qserve_policy().kv_bits == 4
+        assert qserve_policy().weight_bits == 4
+        assert vllm_policy().kv_bits == 16
+        assert lserve_policy().weight_bits == 4
+        assert dense_fp16_policy().kv_bits == 16
+
+    def test_ablation_policies(self):
+        static = lserve_static_only_policy()
+        dynamic = lserve_dynamic_only_policy()
+        assert static.has_static_sparsity and not static.has_dynamic_decode_sparsity
+        assert dynamic.has_dynamic_decode_sparsity and not dynamic.has_static_sparsity
+
+    def test_duoattention_static_only(self):
+        p = duo_attention_policy()
+        assert p.has_static_sparsity
+        assert not p.has_dynamic_decode_sparsity
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            lserve_policy().with_overrides(page_size=0)
+
+    def test_baseline_collections(self):
+        decode_names = {p.name for p in all_decode_baselines()}
+        assert {"vLLM", "QServe", "MInference", "DuoAttention", "LServe"} <= decode_names
+        assert len(all_prefill_baselines()) == 5
+
+    def test_lserve_token_budget_variants_named(self):
+        assert lserve_policy(token_budget=8192).name == "LServe-8192"
+        assert lserve_policy().name == "LServe"

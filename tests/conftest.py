@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.configs import tiny_model_config
+from repro.model.transformer import TinyTransformer
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def tiny_config():
+    return tiny_model_config()
+
+
+@pytest.fixture()
+def tiny_model(tiny_config) -> TinyTransformer:
+    return TinyTransformer(tiny_config, seed=7)
+
+
+def random_qkv(
+    rng: np.random.Generator,
+    n_q: int,
+    n_kv: int,
+    n_heads: int = 4,
+    n_kv_heads: int = 2,
+    head_dim: int = 16,
+):
+    """Random query/key/value tensors in the repository's shape convention."""
+    q = rng.normal(size=(n_q, n_heads, head_dim))
+    k = rng.normal(size=(n_kv, n_kv_heads, head_dim))
+    v = rng.normal(size=(n_kv, n_kv_heads, head_dim))
+    return q, k, v

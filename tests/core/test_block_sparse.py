@@ -1,0 +1,123 @@
+"""Tests for the iterator-based block-sparse layout abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.attention.masks import block_causal_mask, block_streaming_mask
+from repro.core.block_sparse import (
+    BlockIterator,
+    BlockSparseLayout,
+    dense_iterator,
+    selected_pages_iterator,
+    streaming_iterator,
+)
+
+
+class TestBlockIterator:
+    def test_basic(self):
+        it = BlockIterator((0, 2, 5))
+        assert len(it) == 3
+        assert list(it) == [0, 2, 5]
+        assert it[1] == 2
+        assert it.contains(5) and not it.contains(3)
+
+    def test_rejects_unsorted_or_duplicate(self):
+        with pytest.raises(ValueError):
+            BlockIterator((2, 1))
+        with pytest.raises(ValueError):
+            BlockIterator((1, 1))
+        with pytest.raises(ValueError):
+            BlockIterator((-1, 0))
+
+    def test_offsets(self):
+        it = BlockIterator((0, 1, 4))
+        np.testing.assert_array_equal(it.offsets(), [1, 1, 3])
+        assert BlockIterator(()).offsets().size == 0
+
+
+class TestIteratorFactories:
+    def test_dense(self):
+        assert list(dense_iterator(3)) == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            dense_iterator(-1)
+
+    def test_streaming_skips_middle(self):
+        it = streaming_iterator(diag_block=9, sink_blocks=1, local_blocks=2)
+        assert list(it) == [0, 8, 9]
+
+    def test_streaming_short_context_is_dense(self):
+        it = streaming_iterator(diag_block=2, sink_blocks=2, local_blocks=2)
+        assert list(it) == [0, 1, 2]
+
+    def test_streaming_constant_length(self):
+        lengths = {len(streaming_iterator(d, 1, 2)) for d in range(10, 100)}
+        assert lengths == {3}
+
+    def test_streaming_invalid(self):
+        with pytest.raises(ValueError):
+            streaming_iterator(5, -1, 2)
+
+    def test_selected_pages_includes_diagonal(self):
+        it = selected_pages_iterator([0, 3], diag_block=7)
+        assert list(it) == [0, 3, 7]
+
+    def test_selected_pages_rejects_future(self):
+        with pytest.raises(ValueError):
+            selected_pages_iterator([8], diag_block=7)
+
+
+class TestBlockSparseLayout:
+    def test_roundtrip_with_block_mask(self):
+        mask = block_streaming_mask(64, 64, 16, 16, 1, 2)
+        layout = BlockSparseLayout.from_block_mask(mask)
+        np.testing.assert_array_equal(layout.to_block_mask()[0], mask)
+
+    def test_per_head_masks(self):
+        causal = block_causal_mask(64, 64, 16, 16)
+        stream = block_streaming_mask(64, 64, 16, 16, 1, 1)
+        layout = BlockSparseLayout.from_block_mask(np.stack([causal, stream]))
+        assert layout.n_heads == 2
+        assert layout.iterator(0, 3).blocks == tuple(range(4))
+        assert layout.iterator(1, 3).blocks == (0, 3)
+
+    def test_visited_blocks_and_sparsity(self):
+        causal = block_causal_mask(64, 64, 16, 16)
+        layout = BlockSparseLayout.from_block_mask(causal)
+        assert layout.visited_blocks() == int(causal.sum())
+        assert layout.sparsity(64, 64, 16, 16) == 0.0
+        assert layout.theoretical_speedup(64, 64, 16, 16) == pytest.approx(1.0)
+
+    def test_sparsity_streaming(self):
+        stream = block_streaming_mask(128, 128, 16, 16, 1, 2)
+        layout = BlockSparseLayout.from_block_mask(stream)
+        r = layout.sparsity(128, 128, 16, 16)
+        assert 0.0 < r < 1.0
+        assert layout.theoretical_speedup(128, 128, 16, 16) == pytest.approx(1.0 / (1.0 - r))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BlockSparseLayout([], n_kv_blocks=4)
+        with pytest.raises(ValueError):
+            BlockSparseLayout.from_block_mask(np.ones((2, 2, 2, 2), dtype=bool))
+        it = [[BlockIterator((0,))], [BlockIterator((0,)), BlockIterator((0, 1))]]
+        with pytest.raises(ValueError):
+            BlockSparseLayout(it, n_kv_blocks=2)
+
+    def test_paper_example_sparsity(self):
+        """Fig. 4(b): 10 of 21 causal blocks kept => 2.1x theoretical speedup."""
+        causal = block_causal_mask(96, 96, 16, 16)  # 6x6 lower triangle = 21 blocks
+        keep = causal.copy()
+        kept = 0
+        for i in range(6):
+            for j in range(i + 1):
+                if kept >= 10:
+                    keep[i, j] = False
+                else:
+                    kept += 1
+        # Re-keep diagonal blocks (the most recent block is always computed).
+        for i in range(6):
+            keep[i, i] = True
+        layout = BlockSparseLayout.from_block_mask(keep)
+        visited = layout.visited_blocks()
+        speedup = 21 / visited
+        assert speedup >= 1.5

@@ -1,0 +1,256 @@
+"""Integration tests for the LServe engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LServeConfig
+from repro.core.engine import LServeEngine
+from repro.model.configs import tiny_model_config
+from repro.model.transformer import TinyTransformer
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyTransformer(tiny_model_config(), seed=11)
+
+
+def dense_config(**overrides) -> LServeConfig:
+    base = dict(
+        streaming_head_ratio=0.0,
+        dynamic_sparsity_enabled=False,
+        kv_bits=16,
+        physical_page_size=16,
+        logical_page_size=16,
+        sink_tokens=16,
+        local_tokens=16,
+        q_block_size=16,
+        token_budget=64,
+    )
+    base.update(overrides)
+    return LServeConfig(**base)
+
+
+def sparse_config(**overrides) -> LServeConfig:
+    base = dict(
+        streaming_head_ratio=0.5,
+        dynamic_sparsity_enabled=True,
+        kv_bits=8,
+        physical_page_size=16,
+        logical_page_size=4,
+        sink_tokens=16,
+        local_tokens=32,
+        q_block_size=16,
+        token_budget=64,
+        reuse_interval=4,
+    )
+    base.update(overrides)
+    return LServeConfig(**base)
+
+
+class TestDenseEquivalence:
+    def test_prefill_matches_reference_model(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=256)
+        tokens = np.arange(40) % model.config.vocab_size
+        engine_logits = engine.prefill("s", tokens)
+        ref_logits, _ = model.prefill(tokens)
+        np.testing.assert_allclose(engine_logits, ref_logits, rtol=1e-7, atol=1e-7)
+
+    def test_decode_matches_reference_model(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=256)
+        tokens = np.arange(24) % model.config.vocab_size
+        engine.prefill("s", tokens)
+        cache = model.new_cache()
+        model.forward(tokens, cache)
+        for t in [5, 9, 13]:
+            ref = model.forward(np.array([t]), cache)[0]
+            got = engine.decode("s", t)
+            np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-6)
+
+
+def hybrid_reference_backend(streaming_query_mask, page_size, q_block, sink_blocks, local_blocks):
+    """Reference attention applying LServe's *block-granular* Λ mask to
+    streaming heads and full causal attention to dense heads.
+
+    Prefill queries are tiled in ``q_block``-sized blocks; decode queries
+    (``n_new == 1``) use a 1-row tile, matching the engine's TQ geometry.
+    """
+    from repro.attention.dense import dense_attention
+    from repro.attention.masks import block_streaming_mask, mask_from_block_mask
+
+    def backend(layer, q, k, v, n_new):
+        n_kv = k.shape[0]
+        tile = q_block if n_new > 1 else 1
+        block_mask = block_streaming_mask(
+            n_new, n_kv, tile, page_size, sink_blocks=sink_blocks, local_blocks=local_blocks
+        )
+        lam = mask_from_block_mask(block_mask, n_new, n_kv, tile, page_size, causal=True)
+        full = dense_attention(q, k, v, causal=True)
+        stream = dense_attention(q, k, v, mask=lam)
+        return np.where(streaming_query_mask[None, :, None], stream, full)
+
+    return backend
+
+
+class TestSparseServing:
+    def test_prefill_matches_masked_reference(self, model):
+        """Engine prefill == reference model with per-head Λ / causal masks."""
+        tokens = (np.arange(128) * 7) % model.config.vocab_size
+        engine = LServeEngine(
+            model,
+            sparse_config(kv_bits=16),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        engine_logits = engine.prefill("s", tokens)
+        ref_model = TinyTransformer(
+            model.config,
+            weights=model.weights,
+            attention_backend=hybrid_reference_backend(
+                engine.streaming_query_heads,
+                page_size=16, q_block=16, sink_blocks=1, local_blocks=2,
+            ),
+        )
+        ref_logits, _ = ref_model.prefill(tokens)
+        np.testing.assert_allclose(engine_logits, ref_logits, rtol=1e-6, atol=1e-6)
+
+    def test_decode_matches_masked_reference_when_budget_covers_context(self, model):
+        """With the token budget covering the whole context, decode equals the
+        hybrid (streaming + dense) reference exactly."""
+        tokens = (np.arange(96) * 5) % model.config.vocab_size
+        engine = LServeEngine(
+            model,
+            sparse_config(kv_bits=16, token_budget=4096),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        engine.prefill("s", tokens)
+        ref_model = TinyTransformer(
+            model.config,
+            weights=model.weights,
+            attention_backend=hybrid_reference_backend(
+                engine.streaming_query_heads,
+                page_size=16, q_block=16, sink_blocks=1, local_blocks=2,
+            ),
+        )
+        cache = ref_model.new_cache()
+        ref_model.forward(tokens, cache)
+        for t in [3, 8, 21]:
+            ref = ref_model.forward(np.array([t]), cache)[0]
+            got = engine.decode("s", t)
+            np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-6)
+
+    def test_decode_uses_constant_kv_budget(self, model):
+        tokens = (np.arange(320) * 3) % model.config.vocab_size
+        engine = LServeEngine(
+            model,
+            sparse_config(token_budget=64),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        engine.prefill("s", tokens)
+        for t in range(8):
+            engine.decode("s", t + 1)
+        stats = engine.stats
+        assert stats.decode_steps == 8
+        # Dense heads read far fewer tokens than the full context.
+        assert stats.decode_kv_compression < 0.5
+        # Streaming heads touch only sink + local tokens.
+        assert stats.streaming_tokens_attended <= 8 * model.config.n_layers * (16 + 32)
+
+    def test_prefill_block_sparsity_recorded(self, model):
+        tokens = (np.arange(256) * 5) % model.config.vocab_size
+        engine = LServeEngine(
+            model,
+            sparse_config(),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        engine.prefill("s", tokens)
+        assert 0.2 < engine.stats.prefill_block_sparsity < 0.6
+
+    def test_reusable_selector_invoked_sparsely(self, model):
+        tokens = (np.arange(200) * 3) % model.config.vocab_size
+        engine = LServeEngine(
+            model,
+            sparse_config(reuse_interval=4, token_budget=64),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        engine.prefill("s", tokens)
+        for t in range(8):
+            engine.decode("s", t + 1)
+        assert engine.selector.num_queries > engine.selector.num_selector_calls
+        assert engine.selector.overhead_reduction() > 1.5
+
+    def test_generate_runs_end_to_end(self, model):
+        engine = LServeEngine(
+            model,
+            sparse_config(),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        out = engine.generate(np.arange(64), max_new_tokens=4, seq_id="gen")
+        assert len(out) == 4
+        assert all(0 <= t < model.config.vocab_size for t in out)
+
+    def test_memory_savings_vs_dense(self, model):
+        tokens = np.arange(256) % model.config.vocab_size
+        dense = LServeEngine(model, dense_config(), num_cache_pages=512)
+        sparse = LServeEngine(
+            model,
+            sparse_config(kv_bits=4),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        dense.prefill("a", tokens)
+        sparse.prefill("a", tokens)
+        assert sparse.cache.memory_bytes_model() < dense.cache.memory_bytes_model()
+
+
+class TestEngineLifecycleAndValidation:
+    def test_prefill_twice_rejected(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=128)
+        engine.prefill("s", np.arange(16))
+        with pytest.raises(ValueError):
+            engine.prefill("s", np.arange(16))
+
+    def test_decode_before_prefill_rejected(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=128)
+        engine.add_sequence("s")
+        with pytest.raises(ValueError):
+            engine.decode("s", 1)
+
+    def test_release_frees_pages(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=128)
+        engine.prefill("s", np.arange(48))
+        assert engine.cache.dense_cache.allocator.num_allocated > 0
+        engine.release("s")
+        assert engine.cache.dense_cache.allocator.num_allocated == 0
+
+    def test_empty_prompt_rejected(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=128)
+        with pytest.raises(ValueError):
+            engine.prefill("s", np.array([], dtype=np.int64))
+
+    def test_bad_head_mask_shape(self, model):
+        with pytest.raises(ValueError):
+            LServeEngine(
+                model, sparse_config(), streaming_kv_heads=np.array([True, False, True])
+            )
+
+    def test_automatic_head_classification(self, model):
+        engine = LServeEngine(
+            model,
+            sparse_config(streaming_head_ratio=0.5),
+            calibration_tokens=np.arange(64) % model.config.vocab_size,
+            num_cache_pages=256,
+        )
+        assert engine.streaming_kv_heads.sum() == 1  # half of 2 KV heads
+        assert engine.streaming_query_heads.sum() == 2
+
+    def test_context_length_tracking(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=128)
+        engine.prefill("s", np.arange(20))
+        assert engine.context_length("s") == 20
+        engine.decode("s", 3)
+        assert engine.context_length("s") == 21

@@ -1,0 +1,102 @@
+"""Tests for DuoAttention-style head classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.head_classifier import (
+    classify_heads,
+    collect_head_gates,
+    optimize_gate_values,
+)
+from repro.core.streaming import StreamingConfig
+from repro.model.configs import tiny_model_config
+from repro.model.transformer import TinyTransformer
+
+
+class TestOptimizeGateValues:
+    def test_identical_outputs_give_zero_gate(self, rng):
+        out = rng.normal(size=(10, 4, 8))
+        gates = optimize_gate_values(out, out.copy())
+        np.testing.assert_array_equal(gates, np.zeros(4))
+
+    def test_large_deviation_gives_high_gate(self, rng):
+        full = rng.normal(size=(10, 2, 8))
+        stream = full.copy()
+        stream[:, 1] += 10.0  # head 1 is badly approximated by streaming
+        gates = optimize_gate_values(full, stream)
+        assert gates[1] > 0.9
+        assert gates[1] > gates[0]
+
+    def test_gates_in_unit_interval(self, rng):
+        full = rng.normal(size=(6, 5, 4))
+        stream = full + rng.normal(scale=0.5, size=full.shape)
+        gates = optimize_gate_values(full, stream)
+        assert np.all(gates >= 0.0) and np.all(gates <= 1.0)
+
+    def test_penalty_monotone(self, rng):
+        full = rng.normal(size=(6, 3, 4))
+        stream = full + rng.normal(scale=0.3, size=full.shape)
+        low = optimize_gate_values(full, stream, penalty=1e-3)
+        high = optimize_gate_values(full, stream, penalty=1.0)
+        assert np.all(high <= low + 1e-12)
+
+    def test_validation(self, rng):
+        full = rng.normal(size=(4, 2, 3))
+        with pytest.raises(ValueError):
+            optimize_gate_values(full, full[:, :1])
+        with pytest.raises(ValueError):
+            optimize_gate_values(full, full, penalty=0.0)
+
+
+class TestClassifyHeads:
+    def test_half_streaming(self):
+        gates = np.array([[0.1, 0.9, 0.2, 0.8]])
+        result = classify_heads(gates, sparsity=0.5)
+        np.testing.assert_array_equal(result.streaming_mask, [[True, False, True, False]])
+        assert result.streaming_ratio == pytest.approx(0.5)
+
+    def test_zero_and_full_sparsity(self):
+        gates = np.array([0.3, 0.6])
+        assert not classify_heads(gates, 0.0).streaming_mask.any()
+        assert classify_heads(gates, 1.0).streaming_mask.all()
+
+    def test_tied_gates_still_hit_target(self):
+        gates = np.full((2, 4), 0.5)
+        result = classify_heads(gates, sparsity=0.5)
+        assert result.streaming_mask.sum() == 4
+
+    def test_lowest_gates_become_streaming(self):
+        gates = np.array([0.05, 0.5, 0.95, 0.4])
+        result = classify_heads(gates, sparsity=0.25)
+        np.testing.assert_array_equal(result.streaming_mask, [[True, False, False, False]])
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            classify_heads(np.array([0.5]), sparsity=1.5)
+
+
+class TestCollectHeadGates:
+    def test_shape_and_range(self):
+        cfg = tiny_model_config(n_layers=2, n_heads=4, n_kv_heads=2)
+        model = TinyTransformer(cfg, seed=0)
+        tokens = np.arange(32) % cfg.vocab_size
+        gates = collect_head_gates(model, tokens, StreamingConfig(sink_tokens=2, local_tokens=4))
+        assert gates.shape == (2, 2)
+        assert np.all(gates >= 0.0) and np.all(gates <= 1.0)
+
+    def test_backend_restored_after_calibration(self):
+        cfg = tiny_model_config()
+        model = TinyTransformer(cfg, seed=0)
+        backend_before = model.attention_backend
+        collect_head_gates(model, np.arange(16), StreamingConfig(sink_tokens=2, local_tokens=4))
+        assert model.attention_backend is backend_before
+
+    def test_large_window_yields_low_gates(self):
+        """If the streaming window covers the whole context, every head is streaming-friendly."""
+        cfg = tiny_model_config(n_layers=1)
+        model = TinyTransformer(cfg, seed=1)
+        tokens = np.arange(16)
+        gates = collect_head_gates(
+            model, tokens, StreamingConfig(sink_tokens=16, local_tokens=16)
+        )
+        np.testing.assert_allclose(gates, 0.0, atol=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for the (reusable) dynamic page selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical_paging import HierarchicalPagingConfig
+from repro.core.page_selector import PageSelector, ReusablePageSelector
+from repro.kvcache.kv_stats import compute_page_key_stats
+
+
+def stats_from_keys(keys, logical_page_size):
+    stats = compute_page_key_stats(keys, logical_page_size)
+    return np.stack([s.kmin for s in stats]), np.stack([s.kmax for s in stats])
+
+
+def make_selector(token_budget=32, physical=16, logical=4, **kwargs) -> PageSelector:
+    cfg = HierarchicalPagingConfig(
+        physical_page_size=physical, logical_page_size=logical, token_budget=token_budget
+    )
+    return PageSelector(cfg, **kwargs)
+
+
+class TestPageSelector:
+    def test_selects_needle_page(self, rng):
+        """A page containing keys aligned with the query must be selected."""
+        n_tokens, n_kv_heads, dim = 256, 1, 16
+        keys = rng.normal(scale=0.1, size=(n_tokens, n_kv_heads, dim))
+        q = rng.normal(size=(1, dim))
+        needle_slice = slice(130, 140)
+        keys[needle_slice, 0] = q[0] * 2.0  # strongly aligned with the query
+        kmin, kmax = stats_from_keys(keys, 4)
+        selector = make_selector(token_budget=64, physical=16, logical=4)
+        selection = selector.select(q, kmin, kmax)
+        needle_pages = {130 // 16, 139 // 16}
+        assert needle_pages <= set(selection.pages_per_kv_head[0].tolist())
+
+    def test_selection_respects_budget(self, rng):
+        keys = rng.normal(size=(512, 2, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        q = rng.normal(size=(2, 8))
+        selector = make_selector(token_budget=64, physical=16, logical=4)
+        selection = selector.select(q, kmin, kmax)
+        for pages in selection.pages_per_kv_head:
+            assert len(pages) <= 4  # 64-token budget / 16-token pages
+        assert selection.selected_fraction() <= 4 / 32 + 1e-9
+
+    def test_short_context_keeps_all_pages(self, rng):
+        keys = rng.normal(size=(24, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        q = rng.normal(size=(1, 8))
+        selector = make_selector(token_budget=64, physical=16, logical=4)
+        selection = selector.select(q, kmin, kmax)
+        np.testing.assert_array_equal(selection.pages_per_kv_head[0], [0, 1])
+        assert selection.selected_fraction() == 1.0
+
+    def test_counts_invocations(self, rng):
+        keys = rng.normal(size=(64, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        q = rng.normal(size=(1, 8))
+        selector = make_selector()
+        for _ in range(3):
+            selector.select(q, kmin, kmax)
+        assert selector.num_invocations == 3
+
+
+class TestReusablePageSelector:
+    def test_reuse_reduces_selector_calls(self, rng):
+        keys = rng.normal(size=(256, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=4)
+        for _ in range(16):
+            reusable.select("seq", rng.normal(size=(1, 8)), kmin, kmax)
+        assert reusable.num_queries == 16
+        assert reusable.num_selector_calls == 4
+        assert reusable.overhead_reduction() == pytest.approx(4.0)
+
+    def test_interval_one_selects_every_time(self, rng):
+        keys = rng.normal(size=(64, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(), reuse_interval=1)
+        for _ in range(5):
+            reusable.select("seq", rng.normal(size=(1, 8)), kmin, kmax)
+        assert reusable.num_selector_calls == 5
+
+    def test_new_page_forces_reselection(self, rng):
+        keys = rng.normal(size=(256, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=8)
+        q = rng.normal(size=(1, 8))
+        reusable.select("seq", q, kmin, kmax)
+        # Growing the context by a physical page invalidates the cached choice.
+        keys2 = np.concatenate([keys, rng.normal(size=(16, 1, 8))])
+        kmin2, kmax2 = stats_from_keys(keys2, 4)
+        reusable.select("seq", q, kmin2, kmax2)
+        assert reusable.num_selector_calls == 2
+
+    def test_per_sequence_caches(self, rng):
+        keys = rng.normal(size=(128, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=4)
+        q = rng.normal(size=(1, 8))
+        reusable.select("a", q, kmin, kmax)
+        reusable.select("b", q, kmin, kmax)
+        assert reusable.num_selector_calls == 2
+
+    def test_reset(self, rng):
+        keys = rng.normal(size=(128, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=4)
+        q = rng.normal(size=(1, 8))
+        reusable.select("a", q, kmin, kmax)
+        reusable.reset("a")
+        reusable.select("a", q, kmin, kmax)
+        assert reusable.num_selector_calls == 2
+        reusable.reset()
+        reusable.select("a", q, kmin, kmax)
+        assert reusable.num_selector_calls == 3
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ReusablePageSelector(make_selector(), reuse_interval=0)
+
+    def test_cached_selection_identical(self, rng):
+        keys = rng.normal(size=(256, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=4)
+        first = reusable.select("s", rng.normal(size=(1, 8)), kmin, kmax)
+        second = reusable.select("s", rng.normal(size=(1, 8)), kmin, kmax)
+        assert first is second

@@ -1,0 +1,80 @@
+"""Tests for streaming-head static sparsity helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attention.masks import block_causal_mask
+from repro.core.streaming import (
+    StreamingConfig,
+    build_prefill_block_masks,
+    expand_kv_head_mask,
+)
+
+
+class TestStreamingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingConfig(sink_tokens=-1)
+        with pytest.raises(ValueError):
+            StreamingConfig(local_tokens=0)
+
+    def test_block_geometry(self):
+        cfg = StreamingConfig(sink_tokens=64, local_tokens=256)
+        assert cfg.sink_blocks(64) == 1
+        assert cfg.sink_blocks(16) == 4
+        assert cfg.local_blocks(64) == 4
+        assert StreamingConfig(sink_tokens=0).sink_blocks(64) == 0
+
+    def test_tokens_attended_constant(self):
+        cfg = StreamingConfig(sink_tokens=4, local_tokens=8)
+        assert cfg.tokens_attended(6) == 6
+        assert cfg.tokens_attended(100) == 12
+        assert cfg.tokens_attended(100_000) == 12
+
+    def test_token_mask_shape(self):
+        mask = StreamingConfig(sink_tokens=2, local_tokens=2).token_mask(4, 8)
+        assert mask.shape == (4, 8)
+
+
+class TestExpandKVHeadMask:
+    def test_expansion(self):
+        mask = expand_kv_head_mask(np.array([True, False]), gqa_group_size=3)
+        np.testing.assert_array_equal(mask, [True, True, True, False, False, False])
+
+    def test_mha_identity(self):
+        mask = np.array([True, False, True])
+        np.testing.assert_array_equal(expand_kv_head_mask(mask, 1), mask)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expand_kv_head_mask(np.ones((2, 2), dtype=bool), 2)
+        with pytest.raises(ValueError):
+            expand_kv_head_mask(np.ones(2, dtype=bool), 0)
+
+
+class TestBuildPrefillBlockMasks:
+    def test_shapes_and_patterns(self):
+        streaming = StreamingConfig(sink_tokens=16, local_tokens=32)
+        head_mask = np.array([False, True, True, False])
+        masks = build_prefill_block_masks(128, 128, 16, 16, head_mask, streaming)
+        assert masks.shape == (4, 8, 8)
+        causal = block_causal_mask(128, 128, 16, 16)
+        np.testing.assert_array_equal(masks[0], causal)
+        np.testing.assert_array_equal(masks[3], causal)
+        # Streaming heads must skip some causal blocks at this length.
+        assert masks[1].sum() < causal.sum()
+        np.testing.assert_array_equal(masks[1], masks[2])
+
+    def test_streaming_subset_of_causal(self):
+        streaming = StreamingConfig(sink_tokens=16, local_tokens=16)
+        masks = build_prefill_block_masks(
+            256, 256, 32, 32, np.array([True]), streaming
+        )
+        causal = block_causal_mask(256, 256, 32, 32)
+        assert np.all(masks[0] <= causal)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_prefill_block_masks(
+                64, 64, 16, 16, np.ones((2, 2), dtype=bool), StreamingConfig()
+            )

@@ -1,0 +1,152 @@
+"""Tests for device specs and per-kernel latency models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import A100_80G, L40S_48G, DeviceSpec, get_device
+from repro.gpu.kernels import KernelCostModel, bandwidth_utilization
+
+
+class TestDeviceSpec:
+    def test_registry_lookup(self):
+        assert get_device("A100-80GB") is A100_80G
+        assert get_device("a100") is A100_80G
+        assert get_device("L40S") is L40S_48G
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+    def test_a100_faster_than_l40s(self):
+        assert A100_80G.memory_bandwidth_gb_s > L40S_48G.memory_bandwidth_gb_s
+        assert A100_80G.fp16_tflops > L40S_48G.fp16_tflops
+        assert A100_80G.memory_gb > L40S_48G.memory_gb
+
+    def test_int8_rate_higher_than_fp16(self):
+        assert A100_80G.flops_per_second(8) > A100_80G.flops_per_second(16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", memory_gb=0, memory_bandwidth_gb_s=1, fp16_tflops=1, int8_tops=1, sm_count=1)
+
+
+class TestBandwidthUtilization:
+    def test_monotone_in_page_size(self):
+        utils = [bandwidth_utilization(p) for p in (16, 32, 64, 128)]
+        assert utils == sorted(utils)
+        assert all(0 < u < 1 for u in utils)
+
+    def test_table1_shape(self):
+        """Relative slowdown of small pages matches the magnitude of Table 1."""
+        slowdown_16 = bandwidth_utilization(128) / bandwidth_utilization(16)
+        slowdown_64 = bandwidth_utilization(128) / bandwidth_utilization(64)
+        assert 1.3 < slowdown_16 < 1.8  # paper: 1.52x
+        assert 1.0 < slowdown_64 < 1.15  # paper: ~1.01x
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_utilization(0)
+        with pytest.raises(ValueError):
+            bandwidth_utilization(16, overhead_tokens=-1)
+
+
+@pytest.fixture()
+def kernels():
+    return KernelCostModel(A100_80G)
+
+
+class TestGemmLatency:
+    def test_scales_with_work(self, kernels):
+        small = kernels.gemm_latency(128, 4096, 4096)
+        big = kernels.gemm_latency(1024, 4096, 4096)
+        assert big > small
+
+    def test_low_bit_weights_faster_at_batch_one(self, kernels):
+        fp16 = kernels.gemm_latency(1, 4096, 4096, weight_bits=16)
+        w4 = kernels.gemm_latency(1, 4096, 4096, weight_bits=4, act_bits=8)
+        assert w4 < fp16
+
+    def test_memory_bound_at_batch_one(self, kernels):
+        """Decode GEMMs are weight-bandwidth bound: latency ~ weight bytes / bw."""
+        lat = kernels.gemm_latency(1, 4096, 4096, weight_bits=16)
+        weight_time = 4096 * 4096 * 2 / A100_80G.memory_bandwidth_bytes_s
+        assert lat == pytest.approx(weight_time + kernels.kernel_launch_overhead_s, rel=0.05)
+
+    def test_compute_bound_at_large_batch(self, kernels):
+        m = 16384
+        lat = kernels.gemm_latency(m, 4096, 4096, weight_bits=16)
+        flop_time = 2 * m * 4096 * 4096 / (A100_80G.flops_per_second(16) * kernels.gemm_efficiency)
+        assert lat == pytest.approx(flop_time + kernels.kernel_launch_overhead_s, rel=0.05)
+
+    def test_validation(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.gemm_latency(0, 10, 10)
+
+
+class TestAttentionLatency:
+    def test_prefill_quadratic_growth(self, kernels):
+        t1 = kernels.prefill_attention_latency(16384, 16384, 32, 128)
+        t2 = kernels.prefill_attention_latency(32768, 32768, 32, 128)
+        assert 3.5 < t2 / t1 < 4.5
+
+    def test_prefill_sparsity_speedup(self, kernels):
+        dense = kernels.prefill_attention_latency(65536, 65536, 32, 128, visited_fraction=1.0)
+        sparse = kernels.prefill_attention_latency(65536, 65536, 32, 128, visited_fraction=0.5)
+        assert dense / sparse == pytest.approx(2.0, rel=0.05)
+
+    def test_decode_linear_in_tokens(self, kernels):
+        t1 = kernels.decode_attention_latency(65536, 8, 128)
+        t2 = kernels.decode_attention_latency(131072, 8, 128)
+        assert 1.8 < t2 / t1 < 2.2
+
+    def test_decode_quantization_speedup(self, kernels):
+        fp16 = kernels.decode_attention_latency(131072, 8, 128, kv_bits=16)
+        kv4 = kernels.decode_attention_latency(131072, 8, 128, kv_bits=4, page_size=64)
+        assert kv4 < fp16 / 2
+
+    def test_decode_small_pages_slower(self, kernels):
+        big = kernels.decode_attention_latency(131072, 8, 128, kv_bits=4, page_size=128)
+        small = kernels.decode_attention_latency(131072, 8, 128, kv_bits=4, page_size=16)
+        assert small > big
+
+    def test_decode_batch_scaling(self, kernels):
+        b1 = kernels.decode_attention_latency(65536, 8, 128, batch=1)
+        b8 = kernels.decode_attention_latency(65536, 8, 128, batch=8)
+        assert 7 < (b8 - kernels.kernel_launch_overhead_s) / (b1 - kernels.kernel_launch_overhead_s) < 9
+
+    def test_zero_tokens(self, kernels):
+        assert kernels.decode_attention_latency(0, 8, 128) == kernels.kernel_launch_overhead_s
+
+    def test_validation(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.prefill_attention_latency(16, 16, 2, 8, visited_fraction=1.5)
+        with pytest.raises(ValueError):
+            kernels.decode_attention_latency(-1, 8, 128)
+
+
+class TestSelectorAndPooling:
+    def test_selector_linear_in_pages(self, kernels):
+        t1 = kernels.page_selector_latency(4096)
+        t2 = kernels.page_selector_latency(8192)
+        growth = (t2 - kernels.selector_launch_overhead_s) / (t1 - kernels.selector_launch_overhead_s)
+        assert growth == pytest.approx(2.0, rel=0.01)
+
+    def test_selector_matches_paper_magnitude(self, kernels):
+        """Fig. 14: ~0.24 ms selector latency per decode step for a 128K context
+        (16-token logical pages, 32 layers)."""
+        t = 32 * kernels.page_selector_latency(131072 // 16)
+        assert 0.15e-3 < t < 0.45e-3
+
+    def test_selector_zero_pages(self, kernels):
+        assert kernels.page_selector_latency(0) == 0.0
+
+    def test_pooling_negligible_vs_prefill(self, kernels):
+        """§5.3: context pooling is well under 1 ms even at 128K."""
+        assert kernels.pooling_latency(131072, 8, 128) < 1e-3
+
+    @given(pages=st.integers(1, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_selector_positive_and_monotone(self, pages):
+        kernels = KernelCostModel(A100_80G)
+        assert kernels.page_selector_latency(pages) > 0
+        assert kernels.page_selector_latency(pages + 1) >= kernels.page_selector_latency(pages)

@@ -1,0 +1,86 @@
+"""Tests for the physical page allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache.allocator import OutOfPagesError, PageAllocator
+
+
+class TestPageAllocator:
+    def test_initial_state(self):
+        alloc = PageAllocator(8)
+        assert alloc.capacity == 8
+        assert alloc.num_free == 8
+        assert alloc.num_allocated == 0
+
+    def test_allocate_unique_ids(self):
+        alloc = PageAllocator(16)
+        pages = [alloc.allocate() for _ in range(16)]
+        assert sorted(pages) == list(range(16))
+
+    def test_exhaustion_raises(self):
+        alloc = PageAllocator(2)
+        alloc.allocate_many(2)
+        with pytest.raises(OutOfPagesError):
+            alloc.allocate()
+
+    def test_allocate_many_atomic(self):
+        alloc = PageAllocator(3)
+        with pytest.raises(OutOfPagesError):
+            alloc.allocate_many(4)
+        # Nothing was consumed by the failed request.
+        assert alloc.num_free == 3
+
+    def test_allocate_many_negative(self):
+        with pytest.raises(ValueError):
+            PageAllocator(3).allocate_many(-1)
+
+    def test_free_and_reuse(self):
+        alloc = PageAllocator(2)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        alloc.free(a)
+        c = alloc.allocate()
+        assert c == a
+        assert alloc.num_allocated == 2
+        alloc.free_many([b, c])
+        assert alloc.num_free == 2
+
+    def test_double_free_rejected(self):
+        alloc = PageAllocator(2)
+        a = alloc.allocate()
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(ValueError):
+            PageAllocator(4).free(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PageAllocator(0)
+
+    def test_can_allocate(self):
+        alloc = PageAllocator(2)
+        assert alloc.can_allocate(2)
+        alloc.allocate()
+        assert not alloc.can_allocate(2)
+        assert alloc.can_allocate(1)
+
+    @given(st.lists(st.sampled_from(["alloc", "free"]), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_conservation(self, ops):
+        """free + allocated == capacity after any sequence of operations."""
+        alloc = PageAllocator(10)
+        held = []
+        for op in ops:
+            if op == "alloc":
+                if alloc.can_allocate():
+                    held.append(alloc.allocate())
+            elif held:
+                alloc.free(held.pop())
+            assert alloc.num_free + alloc.num_allocated == alloc.capacity
+            assert len(set(held)) == len(held)
+            assert alloc.num_allocated == len(held)

@@ -1,0 +1,146 @@
+"""Tests for the two-way (dense + streaming) paged KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.kvcache.dual_cache import DualPagedKVCache, StreamingKVStore
+from repro.kvcache.paged_cache import PagedCacheConfig
+
+
+def make_dual(mask=(False, True), sink=4, local=4, **overrides) -> DualPagedKVCache:
+    defaults = dict(n_layers=2, n_kv_heads=len(mask), head_dim=4, page_size=4, num_pages=64)
+    defaults.update(overrides)
+    cfg = PagedCacheConfig(**defaults)
+    return DualPagedKVCache(cfg, np.array(mask), sink_tokens=sink, local_tokens=local)
+
+
+class TestStreamingKVStore:
+    def test_keeps_sink_and_local_only(self, rng):
+        store = StreamingKVStore(n_kv_heads=1, head_dim=2, sink_tokens=2, local_tokens=3)
+        k = rng.normal(size=(10, 1, 2))
+        store.append(k, k)
+        k_out, _, pos = store.get()
+        np.testing.assert_array_equal(pos, [0, 1, 7, 8, 9])
+        np.testing.assert_allclose(k_out, k[pos])
+        assert store.total_tokens == 10
+        assert store.stored_tokens == 5
+
+    def test_short_context_keeps_everything(self, rng):
+        store = StreamingKVStore(n_kv_heads=1, head_dim=2, sink_tokens=4, local_tokens=4)
+        k = rng.normal(size=(3, 1, 2))
+        store.append(k, k)
+        _, _, pos = store.get()
+        np.testing.assert_array_equal(pos, [0, 1, 2])
+
+    def test_memory_constant_in_context_length(self, rng):
+        store = StreamingKVStore(n_kv_heads=2, head_dim=4, sink_tokens=4, local_tokens=8)
+        mem0 = store.memory_bytes_model()
+        store.append(rng.normal(size=(100, 2, 4)), rng.normal(size=(100, 2, 4)))
+        assert store.memory_bytes_model() == mem0
+        assert store.stored_tokens <= 12
+
+    def test_empty_get(self):
+        store = StreamingKVStore(n_kv_heads=1, head_dim=2, sink_tokens=1, local_tokens=1)
+        k, v, pos = store.get()
+        assert k.shape[0] == 0 and pos.size == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StreamingKVStore(n_kv_heads=1, head_dim=2, sink_tokens=-1, local_tokens=1)
+        with pytest.raises(ValueError):
+            StreamingKVStore(n_kv_heads=1, head_dim=2, sink_tokens=1, local_tokens=0)
+
+    def test_shape_validation(self, rng):
+        store = StreamingKVStore(n_kv_heads=2, head_dim=2, sink_tokens=1, local_tokens=1)
+        with pytest.raises(ValueError):
+            store.append(rng.normal(size=(2, 1, 2)), rng.normal(size=(2, 1, 2)))
+
+
+class TestDualPagedKVCache:
+    def test_mask_validation(self):
+        cfg = PagedCacheConfig(n_layers=1, n_kv_heads=2, head_dim=4)
+        with pytest.raises(ValueError):
+            DualPagedKVCache(cfg, np.array([True]), sink_tokens=1, local_tokens=1)
+
+    def test_routes_heads(self, rng):
+        dual = make_dual(mask=(False, True))
+        dual.add_sequence("s")
+        k = rng.normal(size=(10, 2, 4))
+        v = rng.normal(size=(10, 2, 4))
+        dual.append("s", 0, k, v)
+        k_dense, _ = dual.get_dense("s", 0)
+        assert k_dense.shape == (10, 1, 4)
+        np.testing.assert_allclose(k_dense[:, 0], k[:, 0])
+        k_stream, _, pos = dual.get_streaming("s", 0)
+        assert k_stream.shape[1] == 1
+        np.testing.assert_allclose(k_stream[:, 0], k[pos, 1])
+
+    def test_streaming_positions_bounded(self, rng):
+        # Page size 4 with a 2-token local window: eviction is page-granular,
+        # so the local window spans back to the start of the newest page.
+        dual = make_dual(mask=(False, True), sink=2, local=2)
+        dual.add_sequence("s")
+        k = rng.normal(size=(20, 2, 4))
+        dual.append("s", 0, k, k)
+        _, _, pos = dual.get_streaming("s", 0)
+        assert pos.size <= 2 + 4  # sink tokens + one local page
+        np.testing.assert_array_equal(pos, [0, 1, 16, 17, 18, 19])
+
+    def test_all_dense(self, rng):
+        dual = make_dual(mask=(False, False))
+        dual.add_sequence("s")
+        k = rng.normal(size=(5, 2, 4))
+        dual.append("s", 0, k, k)
+        k_dense, _ = dual.get_dense("s", 0)
+        assert k_dense.shape == (5, 2, 4)
+        k_stream, _, pos = dual.get_streaming("s", 0)
+        assert k_stream.shape[0] == 0
+
+    def test_all_streaming(self, rng):
+        dual = make_dual(mask=(True, True))
+        dual.add_sequence("s")
+        k = rng.normal(size=(5, 2, 4))
+        dual.append("s", 0, k, k)
+        assert dual.seq_len("s") == 5
+        k_dense, _ = dual.get_dense("s", 0)
+        assert k_dense.shape[0] == 0
+
+    def test_seq_lifecycle(self, rng):
+        dual = make_dual()
+        dual.add_sequence("s")
+        with pytest.raises(ValueError):
+            dual.add_sequence("s")
+        dual.append("s", 0, rng.normal(size=(4, 2, 4)), rng.normal(size=(4, 2, 4)))
+        dual.remove_sequence("s")
+        assert not dual.has_sequence("s")
+        with pytest.raises(KeyError):
+            dual.remove_sequence("s")
+        with pytest.raises(KeyError):
+            dual.seq_len("s")
+
+    def test_append_head_count_validation(self, rng):
+        dual = make_dual()
+        dual.add_sequence("s")
+        with pytest.raises(ValueError):
+            dual.append("s", 0, rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)))
+
+    def test_dense_key_stats_exposed(self, rng):
+        dual = make_dual(mask=(False, True), page_size=4, logical_page_size=2)
+        dual.add_sequence("s")
+        k = rng.normal(size=(8, 2, 4))
+        dual.append("s", 0, k, k)
+        kmin, kmax = dual.dense_key_stats("s", 0)
+        assert kmin.shape == (4, 1, 4)
+        assert np.all(kmax >= kmin)
+
+    def test_memory_smaller_than_all_dense(self, rng):
+        """The two-way cache saves memory versus keeping every head dense."""
+        k = rng.normal(size=(64, 2, 4))
+        dual = make_dual(mask=(False, True), sink=4, local=4)
+        dual.add_sequence("s")
+        all_dense = make_dual(mask=(False, False))
+        all_dense.add_sequence("s")
+        for layer in range(2):
+            dual.append("s", layer, k, k)
+            all_dense.append("s", layer, k, k)
+        assert dual.memory_bytes_model() < all_dense.memory_bytes_model()

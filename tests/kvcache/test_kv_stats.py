@@ -1,0 +1,84 @@
+"""Tests for per-logical-page key statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache.kv_stats import PageKeyStats, compute_page_key_stats, merge_key_stats
+
+
+class TestComputePageKeyStats:
+    def test_single_full_page(self, rng):
+        keys = rng.normal(size=(8, 2, 4))
+        stats = compute_page_key_stats(keys, logical_page_size=8)
+        assert len(stats) == 1
+        np.testing.assert_array_equal(stats[0].kmin, keys.min(axis=0))
+        np.testing.assert_array_equal(stats[0].kmax, keys.max(axis=0))
+        assert stats[0].n_tokens == 8
+
+    def test_partial_last_page(self, rng):
+        keys = rng.normal(size=(10, 2, 4))
+        stats = compute_page_key_stats(keys, logical_page_size=4)
+        assert [s.n_tokens for s in stats] == [4, 4, 2]
+
+    def test_bounds_contain_all_keys(self, rng):
+        keys = rng.normal(size=(13, 3, 5))
+        stats = compute_page_key_stats(keys, logical_page_size=4)
+        for i, s in enumerate(stats):
+            chunk = keys[i * 4 : (i + 1) * 4]
+            assert np.all(chunk >= s.kmin[None] - 1e-12)
+            assert np.all(chunk <= s.kmax[None] + 1e-12)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            compute_page_key_stats(rng.normal(size=(4, 4)), 2)
+        with pytest.raises(ValueError):
+            compute_page_key_stats(rng.normal(size=(4, 2, 2)), 0)
+
+
+class TestUpdateAndMerge:
+    def test_incremental_update_matches_batch(self, rng):
+        keys = rng.normal(size=(6, 2, 3))
+        batch = compute_page_key_stats(keys, logical_page_size=6)[0]
+        inc = compute_page_key_stats(keys[:2], logical_page_size=6)[0]
+        inc.update(keys[2:4])
+        inc.update(keys[4:])
+        np.testing.assert_array_equal(inc.kmin, batch.kmin)
+        np.testing.assert_array_equal(inc.kmax, batch.kmax)
+        assert inc.n_tokens == 6
+
+    def test_update_empty_noop(self, rng):
+        keys = rng.normal(size=(3, 1, 2))
+        s = compute_page_key_stats(keys, 4)[0]
+        before = (s.kmin.copy(), s.kmax.copy(), s.n_tokens)
+        s.update(np.zeros((0, 1, 2)))
+        np.testing.assert_array_equal(s.kmin, before[0])
+        assert s.n_tokens == before[2]
+
+    def test_update_shape_validation(self, rng):
+        s = compute_page_key_stats(rng.normal(size=(2, 1, 2)), 4)[0]
+        with pytest.raises(ValueError):
+            s.update(np.zeros((2, 2)))
+
+    def test_merge_equals_flat_stats(self, rng):
+        keys = rng.normal(size=(16, 2, 4))
+        fine = compute_page_key_stats(keys, logical_page_size=4)
+        merged = merge_key_stats(fine)
+        flat = compute_page_key_stats(keys, logical_page_size=16)[0]
+        np.testing.assert_array_equal(merged.kmin, flat.kmin)
+        np.testing.assert_array_equal(merged.kmax, flat.kmax)
+        assert merged.n_tokens == 16
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_key_stats([])
+
+    @given(n=st.integers(1, 40), lps=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_property_page_count(self, n, lps):
+        rng = np.random.default_rng(n)
+        keys = rng.normal(size=(n, 1, 2))
+        stats = compute_page_key_stats(keys, lps)
+        assert len(stats) == -(-n // lps)
+        assert sum(s.n_tokens for s in stats) == n

@@ -1,0 +1,257 @@
+"""Tests for the paged KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.kvcache.allocator import OutOfPagesError
+from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
+
+
+def make_cache(**overrides) -> PagedKVCache:
+    defaults = dict(
+        n_layers=2, n_kv_heads=2, head_dim=4, page_size=4, num_pages=32, kv_bits=16,
+        logical_page_size=None,
+    )
+    defaults.update(overrides)
+    return PagedKVCache(PagedCacheConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedCacheConfig(n_layers=0, n_kv_heads=1, head_dim=1)
+        with pytest.raises(ValueError):
+            PagedCacheConfig(n_layers=1, n_kv_heads=1, head_dim=1, kv_bits=5)
+        with pytest.raises(ValueError):
+            PagedCacheConfig(
+                n_layers=1, n_kv_heads=1, head_dim=1, page_size=10, logical_page_size=3
+            )
+
+    def test_logical_page_defaults(self):
+        cfg = PagedCacheConfig(n_layers=1, n_kv_heads=1, head_dim=1, page_size=64)
+        assert cfg.effective_logical_page_size == 64
+        assert cfg.logical_pages_per_physical == 1
+        cfg2 = PagedCacheConfig(
+            n_layers=1, n_kv_heads=1, head_dim=1, page_size=64, logical_page_size=16
+        )
+        assert cfg2.logical_pages_per_physical == 4
+
+
+class TestSequenceLifecycle:
+    def test_add_remove(self, rng):
+        cache = make_cache()
+        cache.add_sequence("a")
+        assert cache.has_sequence("a")
+        k = rng.normal(size=(9, 2, 4))
+        for layer in range(2):
+            cache.append("a", layer, k, k)
+        used = cache.allocator.num_allocated
+        assert used == 3  # ceil(9 / 4)
+        cache.remove_sequence("a")
+        assert cache.allocator.num_allocated == 0
+        assert not cache.has_sequence("a")
+
+    def test_duplicate_add(self):
+        cache = make_cache()
+        cache.add_sequence("a")
+        with pytest.raises(ValueError):
+            cache.add_sequence("a")
+
+    def test_unknown_sequence(self):
+        cache = make_cache()
+        with pytest.raises(KeyError):
+            cache.get("missing", 0)
+
+    def test_out_of_pages(self, rng):
+        cache = make_cache(num_pages=2)
+        cache.add_sequence("a")
+        with pytest.raises(OutOfPagesError):
+            cache.append("a", 0, rng.normal(size=(9, 2, 4)), rng.normal(size=(9, 2, 4)))
+
+
+class TestAppendGet:
+    def test_roundtrip_fp16(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k = rng.normal(size=(7, 2, 4))
+        v = rng.normal(size=(7, 2, 4))
+        cache.append("s", 0, k, v)
+        k_out, v_out = cache.get("s", 0)
+        np.testing.assert_allclose(k_out, k)
+        np.testing.assert_allclose(v_out, v)
+        assert cache.seq_len("s") == 7
+
+    def test_incremental_append_matches(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k = rng.normal(size=(10, 2, 4))
+        v = rng.normal(size=(10, 2, 4))
+        cache.append("s", 0, k[:6], v[:6])
+        cache.append("s", 0, k[6:], v[6:])
+        k_out, _ = cache.get("s", 0)
+        np.testing.assert_allclose(k_out, k)
+
+    def test_layers_are_independent(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k0 = rng.normal(size=(4, 2, 4))
+        k1 = rng.normal(size=(4, 2, 4))
+        cache.append("s", 0, k0, k0)
+        cache.append("s", 1, k1, k1)
+        np.testing.assert_allclose(cache.get("s", 0)[0], k0)
+        np.testing.assert_allclose(cache.get("s", 1)[0], k1)
+
+    def test_multiple_sequences_isolated(self, rng):
+        cache = make_cache()
+        cache.add_sequence("a")
+        cache.add_sequence("b")
+        ka = rng.normal(size=(5, 2, 4))
+        kb = rng.normal(size=(3, 2, 4))
+        cache.append("a", 0, ka, ka)
+        cache.append("b", 0, kb, kb)
+        np.testing.assert_allclose(cache.get("a", 0)[0], ka)
+        np.testing.assert_allclose(cache.get("b", 0)[0], kb)
+
+    def test_quantized_append_close_but_lossy(self, rng):
+        cache = make_cache(kv_bits=4)
+        cache.add_sequence("s")
+        k = rng.normal(size=(8, 2, 4))
+        cache.append("s", 0, k, k)
+        k_out, _ = cache.get("s", 0)
+        assert not np.allclose(k_out, k)  # lossy
+        assert np.abs(k_out - k).max() < 0.5  # but close
+
+    def test_empty_append_is_noop(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        cache.append("s", 0, np.zeros((0, 2, 4)), np.zeros((0, 2, 4)))
+        assert cache.seq_len("s") == 0
+
+    def test_shape_validation(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        with pytest.raises(ValueError):
+            cache.append("s", 0, rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)))
+        with pytest.raises(IndexError):
+            cache.append("s", 5, rng.normal(size=(2, 2, 4)), rng.normal(size=(2, 2, 4)))
+
+    def test_get_empty(self):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k, v = cache.get("s", 0)
+        assert k.shape == (0, 2, 4)
+
+
+class TestGatherPages:
+    def test_gather_selected_pages(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k = rng.normal(size=(12, 2, 4))
+        cache.append("s", 0, k, k)
+        k_out, v_out, pos = cache.gather_pages("s", 0, [0, 2])
+        np.testing.assert_allclose(k_out, np.concatenate([k[0:4], k[8:12]]))
+        np.testing.assert_array_equal(pos, np.r_[0:4, 8:12])
+
+    def test_gather_partial_last_page(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k = rng.normal(size=(6, 2, 4))
+        cache.append("s", 0, k, k)
+        k_out, _, pos = cache.gather_pages("s", 0, [1])
+        assert k_out.shape[0] == 2
+        np.testing.assert_array_equal(pos, [4, 5])
+
+    def test_gather_deduplicates_and_sorts(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        k = rng.normal(size=(8, 2, 4))
+        cache.append("s", 0, k, k)
+        _, _, pos = cache.gather_pages("s", 0, [1, 0, 1])
+        np.testing.assert_array_equal(pos, np.arange(8))
+
+    def test_gather_out_of_range(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        cache.append("s", 0, rng.normal(size=(4, 2, 4)), rng.normal(size=(4, 2, 4)))
+        with pytest.raises(IndexError):
+            cache.gather_pages("s", 0, [3])
+
+    def test_gather_empty_selection(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        cache.append("s", 0, rng.normal(size=(4, 2, 4)), rng.normal(size=(4, 2, 4)))
+        k, v, pos = cache.gather_pages("s", 0, [])
+        assert k.shape[0] == 0 and pos.size == 0
+
+
+class TestKeyStats:
+    def test_stats_cover_keys(self, rng):
+        cache = make_cache(page_size=8, logical_page_size=4)
+        cache.add_sequence("s")
+        k = rng.normal(size=(13, 2, 4))
+        cache.append("s", 0, k[:5], k[:5])
+        cache.append("s", 0, k[5:], k[5:])
+        kmin, kmax = cache.key_stats("s", 0)
+        assert kmin.shape == (4, 2, 4)  # ceil(13 / 4) logical pages
+        for i in range(4):
+            chunk = k[i * 4 : (i + 1) * 4]
+            assert np.all(chunk >= kmin[i][None] - 1e-12)
+            assert np.all(chunk <= kmax[i][None] + 1e-12)
+
+    def test_stats_incremental_equals_batch(self, rng):
+        k = rng.normal(size=(11, 2, 4))
+        batch = make_cache(page_size=8, logical_page_size=4)
+        batch.add_sequence("s")
+        batch.append("s", 0, k, k)
+        inc = make_cache(page_size=8, logical_page_size=4)
+        inc.add_sequence("s")
+        for i in range(11):
+            inc.append("s", 0, k[i : i + 1], k[i : i + 1])
+        for a, b in zip(batch.key_stats("s", 0), inc.key_stats("s", 0)):
+            np.testing.assert_allclose(a, b)
+
+    def test_num_logical_pages(self, rng):
+        cache = make_cache(page_size=8, logical_page_size=4)
+        cache.add_sequence("s")
+        cache.append("s", 0, rng.normal(size=(9, 2, 4)), rng.normal(size=(9, 2, 4)))
+        assert cache.num_logical_pages("s", 0) == 3
+
+    def test_stats_empty(self):
+        cache = make_cache()
+        cache.add_sequence("s")
+        kmin, kmax = cache.key_stats("s", 0)
+        assert kmin.shape[0] == 0
+
+
+class TestMemoryModel:
+    def test_quantized_cache_smaller(self, rng):
+        # Use a realistic head_dim so the per-token scale/zero overhead does
+        # not dominate the quantized code size.
+        k = rng.normal(size=(64, 2, 64))
+        sizes = {}
+        for bits in (16, 8, 4):
+            cache = make_cache(kv_bits=bits, page_size=16, head_dim=64)
+            cache.add_sequence("s")
+            cache.append("s", 0, k, k)
+            sizes[bits] = cache.memory_bytes_model()
+        assert sizes[4] < sizes[8] < sizes[16]
+
+    def test_memory_scales_with_pages(self, rng):
+        cache = make_cache()
+        cache.add_sequence("s")
+        cache.append("s", 0, rng.normal(size=(4, 2, 4)), rng.normal(size=(4, 2, 4)))
+        m1 = cache.memory_bytes_model()
+        cache.append("s", 0, rng.normal(size=(8, 2, 4)), rng.normal(size=(8, 2, 4)))
+        m2 = cache.memory_bytes_model()
+        assert m2 == pytest.approx(3 * m1)
+
+    def test_per_sequence_accounting(self, rng):
+        cache = make_cache()
+        cache.add_sequence("a")
+        cache.add_sequence("b")
+        cache.append("a", 0, rng.normal(size=(4, 2, 4)), rng.normal(size=(4, 2, 4)))
+        cache.append("b", 0, rng.normal(size=(8, 2, 4)), rng.normal(size=(8, 2, 4)))
+        total = cache.memory_bytes_model()
+        assert total == pytest.approx(
+            cache.memory_bytes_model("a") + cache.memory_bytes_model("b")
+        )

@@ -1,0 +1,163 @@
+"""Tests for the serving framework (requests, scheduler, metrics, simulator)."""
+
+import pytest
+
+from repro.baselines.systems import lserve_policy, vllm_policy
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B
+from repro.serving.metrics import RequestRecord, ServingMetrics
+from repro.serving.request import Request, RequestState, RequestStatus
+from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from repro.serving.server import ServingSimulator
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request("r", prompt_tokens=0, max_new_tokens=1)
+        with pytest.raises(ValueError):
+            Request("r", prompt_tokens=1, max_new_tokens=0)
+        with pytest.raises(ValueError):
+            Request("r", prompt_tokens=1, max_new_tokens=1, arrival_time_s=-1)
+
+    def test_state_lifecycle(self):
+        state = RequestState(Request("r", prompt_tokens=10, max_new_tokens=2))
+        assert state.context_length == 0
+        state.record_prefill(1.0)
+        assert state.status is RequestStatus.DECODING
+        assert state.context_length == 10
+        state.record_decode_token(2.0)
+        state.record_decode_token(3.0)
+        assert state.is_finished
+        assert state.finish_time_s == 3.0
+        assert state.context_length == 12
+
+    def test_invalid_transitions(self):
+        state = RequestState(Request("r", prompt_tokens=4, max_new_tokens=1))
+        with pytest.raises(ValueError):
+            state.record_decode_token(1.0)
+        state.record_prefill(1.0)
+        with pytest.raises(ValueError):
+            state.record_prefill(2.0)
+
+
+class TestScheduler:
+    def make(self, **kwargs):
+        return ContinuousBatchingScheduler(SchedulerConfig(**kwargs))
+
+    def test_fcfs_admission(self):
+        sched = self.make(max_batch_size=2, kv_token_capacity=10_000)
+        for i in range(3):
+            sched.submit(Request(f"r{i}", prompt_tokens=100, max_new_tokens=10))
+        first = sched.schedule_prefill()
+        second = sched.schedule_prefill()
+        assert first.request.request_id == "r0"
+        assert second.request.request_id == "r1"
+        # Batch is full: the third request stays queued.
+        assert sched.schedule_prefill() is None
+        assert len(sched.waiting) == 1
+
+    def test_kv_capacity_admission_control(self):
+        sched = self.make(max_batch_size=8, kv_token_capacity=230)
+        sched.submit(Request("big", prompt_tokens=200, max_new_tokens=10))
+        sched.submit(Request("small", prompt_tokens=20, max_new_tokens=10))
+        admitted = sched.schedule_prefill()
+        assert admitted.request.request_id == "big"
+        # The second request does not fit until the first finishes (FCFS, no skipping).
+        assert sched.schedule_prefill() is None
+
+    def test_retire_frees_capacity(self):
+        sched = self.make(max_batch_size=1, kv_token_capacity=1_000)
+        sched.submit(Request("a", prompt_tokens=10, max_new_tokens=1))
+        sched.submit(Request("b", prompt_tokens=10, max_new_tokens=1))
+        a = sched.schedule_prefill()
+        a.record_prefill(0.0)
+        a.record_decode_token(1.0)
+        done = sched.retire_finished()
+        assert [s.request.request_id for s in done] == ["a"]
+        assert sched.schedule_prefill().request.request_id == "b"
+
+    def test_decode_batch_only_decoding(self):
+        sched = self.make()
+        sched.submit(Request("a", prompt_tokens=10, max_new_tokens=2))
+        state = sched.schedule_prefill()
+        assert sched.decode_batch() == []
+        state.record_prefill(0.0)
+        assert len(sched.decode_batch()) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(kv_token_capacity=0)
+
+
+class TestMetrics:
+    def record(self, rid="r", arrival=0.0, prefill=1.0, finish=3.0, gen=4):
+        return RequestRecord(
+            request_id=rid, arrival_time_s=arrival, prefill_finish_time_s=prefill,
+            finish_time_s=finish, prompt_tokens=100, generated_tokens=gen,
+        )
+
+    def test_record_properties(self):
+        r = self.record()
+        assert r.ttft_s == 1.0
+        assert r.decode_time_s == 2.0
+        assert r.time_per_output_token_s == 0.5
+
+    def test_aggregates(self):
+        metrics = ServingMetrics()
+        metrics.add(self.record("a", 0.0, 1.0, 3.0, 4))
+        metrics.add(self.record("b", 1.0, 3.0, 5.0, 4))
+        assert len(metrics) == 2
+        assert metrics.mean_ttft_s() == pytest.approx(1.5)
+        assert metrics.total_generated_tokens() == 8
+        assert metrics.makespan_s() == pytest.approx(5.0)
+        assert metrics.generation_throughput_tokens_s() == pytest.approx(8 / 5)
+        assert metrics.percentile_ttft_s(100) == pytest.approx(2.0)
+
+    def test_empty_metrics_raise(self):
+        with pytest.raises(ValueError):
+            ServingMetrics().mean_ttft_s()
+
+
+class TestServingSimulator:
+    def make_sim(self, policy):
+        latency = LatencySimulator(LLAMA_3_8B, A100_80G, policy)
+        return ServingSimulator(latency, SchedulerConfig(max_batch_size=4, kv_token_capacity=600_000))
+
+    def requests(self, n=4, prompt=32_768, out=64):
+        return [
+            Request(f"r{i}", prompt_tokens=prompt, max_new_tokens=out, arrival_time_s=0.0)
+            for i in range(n)
+        ]
+
+    def test_all_requests_complete(self):
+        metrics = self.make_sim(lserve_policy()).run(self.requests())
+        assert len(metrics) == 4
+        assert metrics.total_generated_tokens() == 4 * 64
+
+    def test_lserve_outperforms_vllm_end_to_end(self):
+        reqs = self.requests(n=3, prompt=131_072, out=128)
+        lserve = self.make_sim(lserve_policy()).run(reqs)
+        vllm = self.make_sim(vllm_policy()).run(reqs)
+        assert (
+            lserve.generation_throughput_tokens_s()
+            > vllm.generation_throughput_tokens_s()
+        )
+        assert lserve.mean_ttft_s() < vllm.mean_ttft_s()
+
+    def test_empty_request_list_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_sim(lserve_policy()).run([])
+
+    def test_staggered_arrivals(self):
+        reqs = [
+            Request("a", prompt_tokens=16_384, max_new_tokens=32, arrival_time_s=0.0),
+            Request("b", prompt_tokens=16_384, max_new_tokens=32, arrival_time_s=100.0),
+        ]
+        metrics = self.make_sim(lserve_policy()).run(reqs)
+        assert len(metrics) == 2
+        b = next(r for r in metrics.records if r.request_id == "b")
+        assert b.prefill_finish_time_s >= 100.0
