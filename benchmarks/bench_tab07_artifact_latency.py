@@ -1,4 +1,8 @@
-"""Table 7 (artifact appendix): per-step generation latency of vLLM vs LServe."""
+"""Table 7 (artifact appendix): per-step generation latency of vLLM vs LServe.
+
+Latencies come from end-to-end ``ServingEngine`` runs over each system's
+cost-model backend — the same metrics path the serving examples report.
+"""
 
 from repro.bench import tab07_artifact_latency
 

@@ -1,9 +1,10 @@
-"""Quickstart: serve a small model with LServe's unified sparse attention.
+"""Quickstart: serve a small model through the unified serving front door.
 
-Builds a tiny synthetic-weight transformer, serves the same prompt with plain
-dense attention and with the LServe engine (streaming heads + quantized paged
-KV + hierarchical page selection), and reports the work the sparse engine
-skipped.
+Builds a tiny synthetic-weight transformer, wraps it in the real
+``LServeBackend`` (streaming heads + quantized paged KV + hierarchical page
+selection), and generates through ``ServingEngine`` — the same API that drives
+the cost-model ``SimulatedBackend`` in the other examples.  Reports the work
+the sparse engine skipped.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,6 +18,7 @@ from repro.core.engine import LServeEngine
 from repro.model.configs import tiny_model_config
 from repro.model.tokenizer import ToyTokenizer
 from repro.model.transformer import TinyTransformer
+from repro.serving import LServeBackend, SamplingParams, SchedulerConfig, ServingEngine
 
 
 def main() -> None:
@@ -52,7 +54,15 @@ def main() -> None:
     )
     print(f"Streaming KV heads chosen offline: {engine.streaming_kv_heads.tolist()}")
 
-    lserve_out = engine.generate(prompt_ids, max_new_tokens=8)
+    # The serving front door: the same ServingEngine API also drives the
+    # cost-model backend (see examples/serving_throughput.py).
+    backend = LServeBackend(engine, prefill_chunk_size=64)
+    server = ServingEngine(backend, SchedulerConfig(max_batch_size=4))
+    lserve_out = server.generate(
+        prompt_ids,
+        max_new_tokens=8,
+        sampling=SamplingParams.greedy(stop_token_ids=(tokenizer.eos_id,)),
+    )
 
     print(f"\nDense generation : {dense_out}")
     print(f"LServe generation: {lserve_out}")
@@ -63,13 +73,19 @@ def main() -> None:
           "the eval harnesses and benchmarks, not by this toy model)")
 
     stats = engine.stats
-    print("\nLServe work statistics")
+    work = backend.work
+    print("\nLServe work statistics (from the same serving run)")
     print(f"  prefill block sparsity : {stats.prefill_block_sparsity:.1%} of causal tiles skipped")
     print(f"  decode KV compression  : {stats.decode_kv_compression:.1%} of dense-head KV read")
     print(f"  selector invocations   : {engine.selector.num_selector_calls} "
           f"for {engine.selector.num_queries} queries "
           f"({engine.selector.overhead_reduction():.1f}x reuse)")
-    print(f"  KV memory (modelled)   : {engine.cache.memory_bytes_model() / 1e6:.2f} MB")
+    print(f"  backend work           : {work.prefill_tokens} prefill tokens "
+          f"(chunked, {backend.prefill_chunk_size} per chunk), {work.decode_tokens} "
+          f"decode tokens in {work.decode_iterations} iterations")
+    print(f"  serving metrics        : TTFT {server.metrics.mean_ttft_s() * 1e3:.1f} ms, "
+          f"TPOT {server.metrics.mean_time_per_output_token_s() * 1e3:.1f} ms "
+          "(wall-clock of this toy CPU run)")
 
 
 if __name__ == "__main__":

@@ -1,21 +1,21 @@
 """Serving-throughput comparison across systems on the A100 cost model.
 
 Estimates per-token decode latency and TTFT for vLLM, QServe, DuoAttention,
-MInference and LServe when serving Llama-3-8B at several context lengths, and
-runs a small continuous-batching serving simulation.
+MInference and LServe when serving Llama-3-8B at several context lengths, then
+runs a continuous-batching serving comparison through the ``ServingEngine``
+front door — each system is one ``SimulatedBackend`` configuration of the same
+API that drives the real ``LServeBackend`` in examples/quickstart.py.
 
 Run with:  python examples/serving_throughput.py
 """
 
 from __future__ import annotations
 
-from repro.baselines.systems import all_decode_baselines
+from repro.baselines.systems import all_serving_baselines
 from repro.gpu.device import A100_80G
 from repro.gpu.simulator import LatencySimulator, OutOfMemoryError
 from repro.model.configs import LLAMA_3_8B
-from repro.serving.request import Request
-from repro.serving.scheduler import SchedulerConfig
-from repro.serving.server import ServingSimulator
+from repro.serving import Request, SchedulerConfig, ServingEngine
 
 CONTEXTS = (65_536, 131_072, 262_144)
 
@@ -26,7 +26,7 @@ def main() -> None:
     print("Per-step decode latency (ms)")
     print(header)
     sims = {}
-    for policy in all_decode_baselines():
+    for policy in all_serving_baselines():
         sims[policy.name] = LatencySimulator(LLAMA_3_8B, A100_80G, policy)
         cells = []
         for ctx in CONTEXTS:
@@ -42,13 +42,16 @@ def main() -> None:
         cells = [f"{sim.prefill_latency(ctx):8.1f}" for ctx in CONTEXTS]
         print(f"{name:<14}" + "".join(cells))
 
-    print("\nContinuous-batching serving simulation "
+    print("\nContinuous-batching serving through ServingEngine "
           "(4 requests, 128K prompt, 256 output tokens)")
     requests = [
         Request(f"req-{i}", prompt_tokens=131_072, max_new_tokens=256) for i in range(4)
     ]
     for name, sim in sims.items():
-        server = ServingSimulator(sim, SchedulerConfig(max_batch_size=4, kv_token_capacity=800_000))
+        server = ServingEngine(
+            sim.as_backend(),
+            SchedulerConfig(max_batch_size=4, kv_token_capacity=800_000),
+        )
         try:
             metrics = server.run(requests)
         except OutOfMemoryError as exc:

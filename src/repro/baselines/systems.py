@@ -35,6 +35,7 @@ __all__ = [
     "lserve_dynamic_only_policy",
     "all_decode_baselines",
     "all_prefill_baselines",
+    "all_serving_baselines",
 ]
 
 
@@ -185,3 +186,13 @@ def all_prefill_baselines() -> list[SystemPolicy]:
         minference_policy(),
         lserve_policy(),
     ]
+
+
+def all_serving_baselines() -> list[SystemPolicy]:
+    """The systems driven through the ``ServingEngine`` front door end to end.
+
+    Each policy becomes one :class:`~repro.serving.backend.SimulatedBackend`
+    configuration of the unified serving API (Fig. 16 / Tab. 7 style
+    comparisons under continuous batching).
+    """
+    return all_decode_baselines()

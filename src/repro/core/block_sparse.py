@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attention.masks import block_causal_mask, num_blocks
+from repro.attention.masks import block_causal_mask
 
 __all__ = [
     "BlockIterator",

@@ -18,7 +18,8 @@ invocations) that the analysis benchmarks consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,9 @@ from repro.core.unified_sparse_attention import (
 from repro.kvcache.dual_cache import DualPagedKVCache
 from repro.kvcache.paged_cache import PagedCacheConfig
 from repro.model.transformer import TinyTransformer, rms_norm, silu
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving wraps the engine)
+    from repro.serving.sampling import SamplingParams
 
 __all__ = ["EngineStats", "LServeEngine"]
 
@@ -161,18 +165,32 @@ class LServeEngine:
         self.cache.add_sequence(seq_id)
 
     def release(self, seq_id: object) -> None:
+        """Free one sequence's KV pages and its cached page selections.
+
+        Only the ``(seq_id, layer)`` selector entries of the released sequence
+        are evicted; cached selections of other live sequences survive.
+        """
         self.cache.remove_sequence(seq_id)
-        self.selector.reset()
+        self.selector.release_sequence(seq_id)
 
     def context_length(self, seq_id: object) -> int:
         return self.cache.seq_len(seq_id)
 
     # -- serving entry points ------------------------------------------------------
-    def prefill(self, seq_id: object, token_ids: np.ndarray) -> np.ndarray:
+    def prefill(
+        self, seq_id: object, token_ids: np.ndarray, chunk_size: int | None = None
+    ) -> np.ndarray:
         """Prefill a fresh sequence; returns logits ``(n_tokens, vocab_size)``.
 
-        The engine performs single-shot prefill: the sequence must be empty
-        (chunked prefill is not needed by any reproduced experiment).
+        The sequence must be empty.  When ``chunk_size`` is given, the prompt
+        is processed in chunks of that many tokens (chunked prefill): each
+        chunk attends over the previously written KV history plus its own
+        fresh keys/values, so a long prompt never has to be materialised as
+        one attention call.  Use a multiple of ``q_block_size`` (and of the
+        physical page size) to keep the block-mask tiling — and hence the
+        numerics — identical to single-shot prefill; other sizes still work
+        but tile the Λ mask at shifted boundaries, and with ``kv_bits < 16``
+        the re-read history adds quantization rounding.
         """
         if not self.cache.has_sequence(seq_id):
             self.add_sequence(seq_id)
@@ -181,27 +199,100 @@ class LServeEngine:
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim != 1 or token_ids.size == 0:
             raise ValueError("token_ids must be a non-empty 1-D array")
-        logits = self._forward(seq_id, token_ids, is_prefill=True)
-        self.stats.prefill_tokens += int(token_ids.size)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when set")
+        n = int(token_ids.size)
+        if chunk_size is None or chunk_size >= n:
+            logits = self._forward(seq_id, token_ids, is_prefill=True)
+        else:
+            parts = [
+                self._forward(seq_id, token_ids[start : start + chunk_size], is_prefill=True)
+                for start in range(0, n, chunk_size)
+            ]
+            logits = np.concatenate(parts, axis=0)
+        self.stats.prefill_tokens += n
         return logits
 
     def decode(self, seq_id: object, token_id: int) -> np.ndarray:
         """One decode step; returns logits ``(vocab_size,)``."""
-        if self.cache.seq_len(seq_id) == 0:
-            raise ValueError("decode requires a prefilled sequence")
-        logits = self._forward(seq_id, np.array([token_id]), is_prefill=False)
-        self.stats.decode_steps += 1
-        return logits[0]
+        return self.decode_batch([seq_id], [token_id])[0]
+
+    def decode_batch(
+        self, seq_ids: list[object], token_ids: list[int] | np.ndarray
+    ) -> np.ndarray:
+        """One decode iteration over a batch of sequences.
+
+        Each sequence advances by one token; the embedding, QKV/output
+        projections and FFN run as batched GEMMs over all sequences while
+        attention reads each sequence's own paged cache.  The per-sequence
+        numerics are identical to calling :meth:`decode` sequentially.
+        Returns logits ``(batch, vocab_size)``.
+        """
+        if len(seq_ids) == 0:
+            raise ValueError("decode_batch requires at least one sequence")
+        token_ids = np.asarray(token_ids, dtype=np.int64).ravel()
+        if token_ids.shape != (len(seq_ids),):
+            raise ValueError(
+                f"token_ids must have one entry per sequence, got {token_ids.shape}"
+            )
+        if len(set(seq_ids)) != len(seq_ids):
+            raise ValueError("duplicate seq_id in decode batch")
+        for seq_id in seq_ids:
+            if self.cache.seq_len(seq_id) == 0:
+                raise ValueError(f"decode requires a prefilled sequence, got {seq_id!r}")
+
+        cfg = self.model.config
+        weights = self.model.weights
+        batch = len(seq_ids)
+        positions = np.array([self.cache.seq_len(s) for s in seq_ids])
+
+        hidden = weights.embedding[token_ids]  # (batch, hidden)
+        for layer_idx, layer in enumerate(weights.layers):
+            attn_in = rms_norm(hidden, layer.attn_norm)
+            q = (attn_in @ layer.wq).reshape(batch, cfg.n_heads, cfg.head_dim)
+            k = (attn_in @ layer.wk).reshape(batch, cfg.n_kv_heads, cfg.head_dim)
+            v = (attn_in @ layer.wv).reshape(batch, cfg.n_kv_heads, cfg.head_dim)
+            q = apply_rope(q, positions, self.model.rope)
+            k = apply_rope(k, positions, self.model.rope)
+            attn_out = np.empty((batch, cfg.n_heads, cfg.head_dim))
+            for i, seq_id in enumerate(seq_ids):
+                self.cache.append(seq_id, layer_idx, k[i : i + 1], v[i : i + 1])
+                attn_out[i] = self._decode_attention(seq_id, layer_idx, q[i : i + 1])[0]
+            hidden = hidden + attn_out.reshape(batch, cfg.hidden_size) @ layer.wo
+            ffn_in = rms_norm(hidden, layer.ffn_norm)
+            gate = silu(ffn_in @ layer.w_gate) * (ffn_in @ layer.w_up)
+            hidden = hidden + gate @ layer.w_down
+
+        hidden = rms_norm(hidden, weights.final_norm)
+        self.stats.decode_steps += batch
+        return hidden @ weights.lm_head
 
     def generate(
-        self, prompt_ids: np.ndarray, max_new_tokens: int, seq_id: object = "generate"
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int,
+        seq_id: object = "generate",
+        sampling: "SamplingParams | None" = None,
     ) -> list[int]:
-        """Greedy generation convenience wrapper (prefill + decode loop)."""
+        """Generation convenience wrapper (prefill + decode loop).
+
+        Produces at most ``max_new_tokens`` tokens (exactly that many unless a
+        stop token from ``sampling.stop_token_ids`` is emitted first, which is
+        kept in the output).  ``max_new_tokens=0`` generates nothing.
+        """
+        from repro.serving.sampling import SamplingParams, sample_token
+
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        if max_new_tokens == 0:
+            return []
+        params = sampling or SamplingParams()
+        rng = np.random.default_rng(params.seed)
         logits = self.prefill(seq_id, prompt_ids)
-        next_id = int(np.argmax(logits[-1]))
+        next_id = sample_token(logits[-1], params, rng)
         generated = [next_id]
-        for _ in range(max_new_tokens - 1):
-            next_id = int(np.argmax(self.decode(seq_id, next_id)))
+        while len(generated) < max_new_tokens and not params.is_stop(next_id):
+            next_id = sample_token(self.decode(seq_id, next_id), params, rng)
             generated.append(next_id)
         return generated
 
@@ -223,12 +314,20 @@ class LServeEngine:
             v = (attn_in @ layer.wv).reshape(n_new, cfg.n_kv_heads, cfg.head_dim)
             q = apply_rope(q, positions, self.model.rope)
             k = apply_rope(k, positions, self.model.rope)
-            self.cache.append(seq_id, layer_idx, k, v)
-
-            if is_prefill:
-                attn_out = self._prefill_attention(q, k, v)
+            if is_prefill and start > 0:
+                # Chunked-prefill continuation: the KV history must be read
+                # *before* this chunk is appended (the streaming store evicts
+                # local-window pages as the chunk lands).
+                attn_out = self._prefill_continuation_attention(
+                    seq_id, layer_idx, q, k, v, start
+                )
+                self.cache.append(seq_id, layer_idx, k, v)
             else:
-                attn_out = self._decode_attention(seq_id, layer_idx, q)
+                self.cache.append(seq_id, layer_idx, k, v)
+                if is_prefill:
+                    attn_out = self._prefill_attention(q, k, v)
+                else:
+                    attn_out = self._decode_attention(seq_id, layer_idx, q)
 
             hidden = hidden + attn_out.reshape(n_new, cfg.hidden_size) @ layer.wo
             ffn_in = rms_norm(hidden, layer.ffn_norm)
@@ -243,6 +342,53 @@ class LServeEngine:
             q,
             k,
             v,
+            head_is_streaming=self.streaming_query_heads,
+            streaming=self.streaming,
+            q_block=self.config.q_block_size,
+            kv_block=self.config.physical_page_size,
+        )
+        self.stats.prefill_blocks_visited += stats.visited_blocks
+        self.stats.prefill_blocks_total += stats.total_blocks
+        return output
+
+    def _prefill_continuation_attention(
+        self,
+        seq_id: object,
+        layer_idx: int,
+        q: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        start: int,
+    ) -> np.ndarray:
+        """Fused sparse attention of one continuation chunk over the full context.
+
+        The chunk's queries attend over ``start`` historical tokens plus the
+        chunk itself.  Dense-head history is read back from the paged cache
+        (quantized, as a real chunked prefill would); streaming-head history is
+        scattered from the sink+local store into its original positions —
+        evicted positions stay zero, but the Λ block mask never visits them.
+        The chunk's own keys/values are used raw, exactly as in single-shot
+        prefill.
+        """
+        cfg = self.model.config
+        n_new = q.shape[0]
+        n_ctx = start + n_new
+        k_full = np.zeros((n_ctx, cfg.n_kv_heads, cfg.head_dim))
+        v_full = np.zeros((n_ctx, cfg.n_kv_heads, cfg.head_dim))
+        if self._dense_kv_heads.size:
+            k_hist, v_hist = self.cache.get_dense(seq_id, layer_idx)
+            k_full[np.ix_(np.arange(start), self._dense_kv_heads)] = k_hist
+            v_full[np.ix_(np.arange(start), self._dense_kv_heads)] = v_hist
+        if self._streaming_kv_heads_idx.size:
+            k_s, v_s, pos = self.cache.get_streaming(seq_id, layer_idx)
+            k_full[np.ix_(pos, self._streaming_kv_heads_idx)] = k_s
+            v_full[np.ix_(pos, self._streaming_kv_heads_idx)] = v_s
+        k_full[start:] = k_new
+        v_full[start:] = v_new
+        output, stats = prefill_sparse_attention(
+            q,
+            k_full,
+            v_full,
             head_is_streaming=self.streaming_query_heads,
             streaming=self.streaming,
             q_block=self.config.q_block_size,

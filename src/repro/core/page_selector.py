@@ -12,7 +12,7 @@ between, cutting selector overhead by the reuse interval.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -118,11 +118,27 @@ class ReusablePageSelector:
         return self.num_queries / self.num_selector_calls
 
     def reset(self, key: object | None = None) -> None:
-        """Drop cached selections (all of them, or one sequence's)."""
+        """Drop cached selections (all of them, or one cache key's)."""
         if key is None:
             self._cache.clear()
         else:
             self._cache.pop(key, None)
+
+    def release_sequence(self, seq_id: object) -> None:
+        """Drop every cached selection belonging to one sequence.
+
+        The engine keys its selections as ``(seq_id, layer)``; releasing a
+        sequence must only evict those keys, leaving the cached selections of
+        every other live sequence untouched.  Bare ``seq_id`` keys are evicted
+        too, for callers that do not key by layer.
+        """
+        stale = [
+            key
+            for key in self._cache
+            if key == seq_id or (isinstance(key, tuple) and len(key) > 0 and key[0] == seq_id)
+        ]
+        for key in stale:
+            del self._cache[key]
 
     def select(
         self,

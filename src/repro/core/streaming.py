@@ -16,7 +16,6 @@ import numpy as np
 from repro.attention.masks import (
     block_causal_mask,
     block_streaming_mask,
-    num_blocks,
     streaming_mask,
 )
 

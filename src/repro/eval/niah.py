@@ -7,7 +7,7 @@ the system's token-selection policy recovers the needle span.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

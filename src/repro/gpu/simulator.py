@@ -99,6 +99,18 @@ class LatencySimulator:
             length += step
         return best
 
+    # -- serving integration ----------------------------------------------------------
+    def as_backend(self):
+        """This cost model as a :class:`~repro.serving.backend.SimulatedBackend`.
+
+        The returned object implements the serving ``InferenceBackend``
+        protocol, so a clock-only run is just one configuration of the
+        :class:`~repro.serving.engine.ServingEngine` front door.
+        """
+        from repro.serving.backend import SimulatedBackend  # avoid import cycle
+
+        return SimulatedBackend(self)
+
     # -- request-level estimate -----------------------------------------------------------
     def generation_estimate(
         self, prompt_tokens: int, output_tokens: int, batch: int = 1

@@ -19,7 +19,7 @@ Functional model of the QServe/vLLM KV cache that LServe extends:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,17 +1,55 @@
-"""Serving framework: requests, continuous-batching scheduler, metrics, and a
-serving-loop simulator driven by the GPU cost model."""
+"""Serving framework: one backend API, one front door, one metrics path.
 
+The package is organised around the :class:`~repro.serving.backend.InferenceBackend`
+protocol — ``prefill(seq_id, tokens)``, ``decode_batch(seq_ids, token_ids)``,
+``release(seq_id)`` plus uniform :class:`~repro.serving.backend.BackendWork`
+accounting.  Two implementations exist:
+
+* :class:`~repro.serving.backend.LServeBackend` — the real
+  :class:`~repro.core.engine.LServeEngine` with multi-sequence batched decode
+  and chunked prefill; tokens actually flow through the sparse-attention model.
+* :class:`~repro.serving.backend.SimulatedBackend` — the GPU cost model on a
+  virtual clock, for scheduler-level experiments at paper scale.
+
+:class:`~repro.serving.engine.ServingEngine` is the front door on top:
+``submit(Request) -> RequestHandle``, ``step()``, ``run_until_complete()``,
+and a ``generate()`` convenience with :class:`~repro.serving.sampling.SamplingParams`
+(greedy / temperature / top-k, EOS and stop-token handling).  The FCFS
+continuous-batching scheduler drives whichever backend is plugged in, and
+TTFT / per-token latency / throughput are reported through the same
+:class:`~repro.serving.metrics.ServingMetrics` records either way.
+"""
+
+from repro.serving.backend import (
+    BackendWork,
+    InferenceBackend,
+    LServeBackend,
+    SimulatedBackend,
+    StepResult,
+)
+from repro.serving.engine import RequestHandle, ServingEngine, StepOutcome
+from repro.serving.metrics import RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
+from repro.serving.sampling import SamplingParams, sample_token
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
-from repro.serving.metrics import ServingMetrics, RequestRecord
 from repro.serving.server import ServingSimulator
 
 __all__ = [
+    "BackendWork",
+    "InferenceBackend",
+    "LServeBackend",
+    "SimulatedBackend",
+    "StepResult",
+    "RequestHandle",
+    "ServingEngine",
+    "StepOutcome",
     "Request",
     "RequestState",
     "RequestStatus",
     "ContinuousBatchingScheduler",
     "SchedulerConfig",
+    "SamplingParams",
+    "sample_token",
     "ServingMetrics",
     "RequestRecord",
     "ServingSimulator",

@@ -1,0 +1,236 @@
+"""The serving back door: one ``InferenceBackend`` API, two implementations.
+
+Everything behind the :class:`~repro.serving.engine.ServingEngine` front door
+speaks this protocol:
+
+* :class:`LServeBackend` wraps the real :class:`~repro.core.engine.LServeEngine`
+  — tokens actually flow through the sparse-attention model, decode iterations
+  run as true multi-sequence batches, and prefill can be chunked.
+* :class:`SimulatedBackend` wraps the :class:`~repro.gpu.simulator.LatencySimulator`
+  cost model — no logits are produced, but every call is billed the modelled
+  GPU time, so scheduler-level experiments run in virtual time at any scale.
+
+Both report work through the same :class:`BackendWork` counters and both bill
+time through :class:`StepResult.elapsed_s`, which is what lets TTFT /
+throughput metrics and engine statistics come from the *same* run regardless
+of which backend is plugged in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.engine import LServeEngine
+from repro.gpu.simulator import LatencySimulator
+
+__all__ = [
+    "StepResult",
+    "BackendWork",
+    "InferenceBackend",
+    "SimulatedBackend",
+    "LServeBackend",
+]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one backend call.
+
+    ``logits`` is the next-token distribution — ``(vocab_size,)`` for the last
+    prompt position after :meth:`InferenceBackend.prefill`, ``(batch,
+    vocab_size)`` after :meth:`InferenceBackend.decode_batch` — or ``None``
+    for backends that model time but not content.  ``elapsed_s`` is the time
+    the call is billed on the serving clock (modelled GPU seconds for the
+    simulator, measured or modelled seconds for the real engine).
+    """
+
+    logits: np.ndarray | None
+    elapsed_s: float
+
+
+@dataclass
+class BackendWork:
+    """Uniform work/latency accounting every backend maintains."""
+
+    prefill_calls: int = 0
+    prefill_tokens: int = 0
+    prefill_time_s: float = 0.0
+    decode_iterations: int = 0
+    decode_tokens: int = 0
+    decode_time_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.prefill_time_s + self.decode_time_s
+
+    @property
+    def mean_decode_batch_size(self) -> float:
+        if self.decode_iterations == 0:
+            return 0.0
+        return self.decode_tokens / self.decode_iterations
+
+    def record_prefill(self, n_tokens: int, elapsed_s: float) -> None:
+        self.prefill_calls += 1
+        self.prefill_tokens += n_tokens
+        self.prefill_time_s += elapsed_s
+
+    def record_decode(self, batch: int, elapsed_s: float) -> None:
+        self.decode_iterations += 1
+        self.decode_tokens += batch
+        self.decode_time_s += elapsed_s
+
+
+@runtime_checkable
+class InferenceBackend(Protocol):
+    """What the serving front door needs from an execution engine.
+
+    A backend owns per-sequence KV state keyed by ``seq_id``: ``prefill``
+    creates it, ``decode_batch`` advances every listed sequence by one token,
+    and ``release`` frees it.  ``work`` accumulates the uniform accounting.
+
+    Implementations should also expose a ``produces_logits`` class attribute:
+    ``True`` when calls return real next-token distributions (requests must
+    then carry ``prompt_token_ids``), ``False`` for content-free cost models
+    (the serving engine records placeholder tokens and refuses ``generate()``).
+    """
+
+    work: BackendWork
+    produces_logits: bool
+
+    def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
+        """Ingest a prompt for a fresh sequence."""
+        ...
+
+    def decode_batch(
+        self, seq_ids: list[object], token_ids: list[int] | np.ndarray
+    ) -> StepResult:
+        """Advance each sequence by one token (one continuous-batching iteration)."""
+        ...
+
+    def release(self, seq_id: object) -> None:
+        """Free all state held for ``seq_id``."""
+        ...
+
+
+class SimulatedBackend:
+    """Cost-model backend: bills modelled GPU time, produces no logits.
+
+    This is the old ``ServingSimulator`` behaviour re-expressed as one
+    configuration of the backend API: prefill is billed the modelled
+    time-to-first-token of the prompt, a decode iteration is billed the
+    modelled step latency at the longest context in the batch.
+    """
+
+    produces_logits = False
+
+    def __init__(self, latency: LatencySimulator) -> None:
+        self.latency = latency
+        self.work = BackendWork()
+        self._context: dict[object, int] = {}
+
+    def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
+        if seq_id in self._context:
+            raise ValueError(f"sequence {seq_id!r} already prefilled")
+        n = int(np.asarray(token_ids).size)
+        if n == 0:
+            raise ValueError("token_ids must be non-empty")
+        elapsed = self.latency.prefill_latency(n)
+        self._context[seq_id] = n
+        self.work.record_prefill(n, elapsed)
+        return StepResult(logits=None, elapsed_s=elapsed)
+
+    def decode_batch(
+        self, seq_ids: list[object], token_ids: list[int] | np.ndarray
+    ) -> StepResult:
+        if not seq_ids:
+            raise ValueError("decode_batch requires at least one sequence")
+        for seq_id in seq_ids:
+            if seq_id not in self._context:
+                raise KeyError(f"unknown sequence {seq_id!r}")
+        context = max(self._context[s] for s in seq_ids)
+        elapsed = self.latency.decode_step_latency(context, batch=len(seq_ids))
+        for seq_id in seq_ids:
+            self._context[seq_id] += 1
+        self.work.record_decode(len(seq_ids), elapsed)
+        return StepResult(logits=None, elapsed_s=elapsed)
+
+    def release(self, seq_id: object) -> None:
+        self._context.pop(seq_id, None)
+
+
+class LServeBackend:
+    """Real-compute backend: drives an :class:`LServeEngine`.
+
+    Tokens flow through the actual sparse-attention model.  Time is billed
+    from ``latency`` (the GPU cost model) when provided — keeping the virtual
+    clock comparable with :class:`SimulatedBackend` runs — and from measured
+    wall-clock time otherwise.  ``prefill_chunk_size`` enables the engine's
+    chunked prefill.
+    """
+
+    produces_logits = True
+
+    def __init__(
+        self,
+        engine: LServeEngine,
+        latency: LatencySimulator | None = None,
+        prefill_chunk_size: int | None = None,
+    ) -> None:
+        if prefill_chunk_size is not None:
+            q_block = engine.config.q_block_size
+            page = engine.config.physical_page_size
+            if (
+                prefill_chunk_size < 1
+                or prefill_chunk_size % q_block != 0
+                or prefill_chunk_size % page != 0
+            ):
+                raise ValueError(
+                    f"prefill_chunk_size ({prefill_chunk_size}) must be a positive "
+                    f"multiple of q_block_size ({q_block}) and physical_page_size "
+                    f"({page}); misaligned chunks silently tile the sparse masks at "
+                    "shifted boundaries and change model outputs"
+                )
+        self.engine = engine
+        self.latency = latency
+        self.prefill_chunk_size = prefill_chunk_size
+        self.work = BackendWork()
+
+    @property
+    def stats(self):
+        """The wrapped engine's :class:`~repro.core.engine.EngineStats`."""
+        return self.engine.stats
+
+    def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        wall_start = time.perf_counter()
+        logits = self.engine.prefill(seq_id, token_ids, chunk_size=self.prefill_chunk_size)
+        wall = time.perf_counter() - wall_start
+        elapsed = (
+            self.latency.prefill_latency(int(token_ids.size))
+            if self.latency is not None
+            else wall
+        )
+        self.work.record_prefill(int(token_ids.size), elapsed)
+        return StepResult(logits=logits[-1], elapsed_s=elapsed)
+
+    def decode_batch(
+        self, seq_ids: list[object], token_ids: list[int] | np.ndarray
+    ) -> StepResult:
+        context = max(self.engine.context_length(s) for s in seq_ids)
+        wall_start = time.perf_counter()
+        logits = self.engine.decode_batch(seq_ids, token_ids)
+        wall = time.perf_counter() - wall_start
+        elapsed = (
+            self.latency.decode_step_latency(context, batch=len(seq_ids))
+            if self.latency is not None
+            else wall
+        )
+        self.work.record_decode(len(seq_ids), elapsed)
+        return StepResult(logits=logits, elapsed_s=elapsed)
+
+    def release(self, seq_id: object) -> None:
+        self.engine.release(seq_id)

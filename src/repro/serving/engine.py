@@ -1,0 +1,290 @@
+"""The serving front door: submit requests, step the system, collect metrics.
+
+:class:`ServingEngine` is the single entry point for serving under continuous
+batching.  It owns the FCFS scheduler, a virtual clock, and an
+:class:`~repro.serving.backend.InferenceBackend` that does the work — the real
+:class:`~repro.serving.backend.LServeBackend` or the cost-model
+:class:`~repro.serving.backend.SimulatedBackend`.  Token ids flow through the
+backend on every scheduler decision, so TTFT / throughput metrics, scheduler
+decisions, and engine work statistics all come from the *same* run.
+
+Typical use::
+
+    engine = ServingEngine(backend)
+    handle = engine.submit(Request.from_prompt("req-0", prompt_ids, max_new_tokens=64))
+    metrics = engine.run_until_complete()
+    print(handle.output_tokens, metrics.mean_ttft_s())
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.backend import InferenceBackend
+from repro.serving.metrics import RequestRecord, ServingMetrics
+from repro.serving.request import Request, RequestState
+from repro.serving.sampling import SamplingParams, sample_token
+from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+
+__all__ = ["RequestHandle", "StepOutcome", "ServingEngine"]
+
+#: Token id fed through content-free backends (no logits to sample from).
+PLACEHOLDER_TOKEN = 0
+
+
+@dataclass
+class RequestHandle:
+    """Live view of one submitted request."""
+
+    request: Request
+    state: RequestState
+    output_tokens: list[int] = field(default_factory=list)
+    record: RequestRecord | None = None
+    _rng: np.random.Generator | None = None
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    @property
+    def finished(self) -> bool:
+        return self.state.is_finished
+
+    @property
+    def seq_id(self) -> str:
+        return self.request.request_id
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one call to :meth:`ServingEngine.step` did."""
+
+    kind: str  # "prefill" | "decode" | "idle"
+    clock_s: float
+    elapsed_s: float
+    request_ids: tuple[str, ...] = ()
+    finished_ids: tuple[str, ...] = ()
+
+
+class ServingEngine:
+    """Continuous-batching serving loop over any :class:`InferenceBackend`."""
+
+    def __init__(
+        self,
+        backend: InferenceBackend,
+        scheduler_config: SchedulerConfig | None = None,
+        default_sampling: SamplingParams | None = None,
+    ) -> None:
+        self.backend = backend
+        self.scheduler = ContinuousBatchingScheduler(scheduler_config or SchedulerConfig())
+        self.default_sampling = default_sampling or SamplingParams()
+        self.clock_s = 0.0
+        self.metrics = ServingMetrics()
+        #: Scheduler decision trace ("prefill:<id>" / "decode:<id>,<id>,..."),
+        #: identical across backends for the same request trace.
+        self.decision_log: list[str] = []
+        self._handles: dict[str, RequestHandle] = {}
+        self._arrivals: list[Request] = []  # sorted by arrival time (FCFS ties stable)
+
+    # -- submission ---------------------------------------------------------------
+    def submit(self, request: Request) -> RequestHandle:
+        """Register a request; it is admitted once the clock reaches its arrival."""
+        if request.request_id in self._handles:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        if request.prompt_token_ids is None and getattr(
+            self.backend, "produces_logits", False
+        ):
+            raise ValueError(
+                f"request {request.request_id!r} carries no prompt_token_ids but the "
+                "backend produces real logits; a length-only request would silently "
+                "generate from a placeholder prompt. Build it with Request.from_prompt()."
+            )
+        capacity = self.scheduler.config.kv_token_capacity
+        if request.prompt_tokens + request.max_new_tokens > capacity:
+            raise ValueError(
+                f"request {request.request_id!r} needs "
+                f"{request.prompt_tokens + request.max_new_tokens} KV tokens but "
+                f"kv_token_capacity is {capacity}; it could never be admitted"
+            )
+        handle = RequestHandle(request=request, state=RequestState(request=request))
+        params = request.sampling or self.default_sampling
+        handle._rng = np.random.default_rng(params.seed)
+        self._handles[request.request_id] = handle
+        insort(self._arrivals, request, key=lambda r: r.arrival_time_s)
+        return handle
+
+    def handle(self, request_id: str) -> RequestHandle:
+        return self._handles[request_id]
+
+    def clear_finished(self) -> int:
+        """Drop handles of finished requests; returns how many were evicted.
+
+        A long-lived engine keeps every handle (with its output tokens) so
+        callers can read results after a run; call this between runs to bound
+        memory and allow request-id reuse.  Completed ``ServingMetrics``
+        records are kept.
+        """
+        done = [rid for rid, h in self._handles.items() if h.finished]
+        for rid in done:
+            del self._handles[rid]
+        return len(done)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._arrivals) or self.scheduler.has_work
+
+    # -- the serving loop ---------------------------------------------------------
+    def step(self) -> StepOutcome | None:
+        """Run one scheduler iteration; returns ``None`` when nothing is left.
+
+        Mirrors vLLM-style iteration-level scheduling: admit arrived requests,
+        prefer prefilling one waiting request, otherwise run one decode
+        iteration over the running batch, otherwise jump the clock to the
+        next arrival.
+        """
+        self._admit_arrived()
+
+        state = self.scheduler.schedule_prefill()
+        if state is not None:
+            return self._step_prefill(state)
+
+        batch = self.scheduler.decode_batch()
+        if batch:
+            return self._step_decode(batch)
+
+        if self._arrivals:
+            next_arrival = self._arrivals[0].arrival_time_s
+            elapsed = max(0.0, next_arrival - self.clock_s)
+            self.clock_s = max(self.clock_s, next_arrival)
+            return StepOutcome(kind="idle", clock_s=self.clock_s, elapsed_s=elapsed)
+        return None
+
+    def run_until_complete(self) -> ServingMetrics:
+        """Drive :meth:`step` until every submitted request has finished."""
+        while self.step() is not None:
+            pass
+        return self.metrics
+
+    def run(self, requests: list[Request]) -> ServingMetrics:
+        """Serve a batch of requests to completion (submit + run)."""
+        if not requests:
+            raise ValueError("at least one request is required")
+        for request in requests:
+            self.submit(request)
+        return self.run_until_complete()
+
+    def generate(
+        self,
+        prompt_ids,
+        max_new_tokens: int,
+        sampling: SamplingParams | None = None,
+        request_id: str | None = None,
+    ) -> list[int]:
+        """Single-prompt convenience: serve one request, return its tokens.
+
+        Requires a backend that produces real logits; cost-model backends have
+        no token content to return — use :meth:`run` / :meth:`submit` and read
+        the timing metrics instead.
+        """
+        if not getattr(self.backend, "produces_logits", False):
+            raise ValueError(
+                "generate() needs a backend that produces real logits; "
+                f"{type(self.backend).__name__} is content-free — use run()/submit() "
+                "and read ServingMetrics instead"
+            )
+        if request_id is None:
+            request_id = f"generate-{len(self._handles)}"
+        handle = self.submit(
+            Request.from_prompt(
+                request_id,
+                prompt_ids,
+                max_new_tokens=max_new_tokens,
+                arrival_time_s=self.clock_s,
+                sampling=sampling,
+            )
+        )
+        self.run_until_complete()
+        return list(handle.output_tokens)
+
+    # -- internals ----------------------------------------------------------------
+    def _admit_arrived(self) -> None:
+        while self._arrivals and self._arrivals[0].arrival_time_s <= self.clock_s:
+            self.scheduler.submit_state(
+                self._handles[self._arrivals.pop(0).request_id].state
+            )
+
+    def _step_prefill(self, state: RequestState) -> StepOutcome:
+        handle = self._handles[state.request.request_id]
+        token_ids = self._prompt_ids(handle.request)
+        result = self.backend.prefill(handle.seq_id, token_ids)
+        self.clock_s += result.elapsed_s
+        self.decision_log.append(f"prefill:{handle.request_id}")
+        state.record_prefill(self.clock_s)
+        # Prefill yields the first generated token.
+        self._record_token(handle, result.logits)
+        finished = self._retire()
+        return StepOutcome(
+            kind="prefill",
+            clock_s=self.clock_s,
+            elapsed_s=result.elapsed_s,
+            request_ids=(handle.request_id,),
+            finished_ids=finished,
+        )
+
+    def _step_decode(self, batch: list[RequestState]) -> StepOutcome:
+        handles = [self._handles[s.request.request_id] for s in batch]
+        tokens = [
+            h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN for h in handles
+        ]
+        result = self.backend.decode_batch([h.seq_id for h in handles], tokens)
+        self.clock_s += result.elapsed_s
+        self.decision_log.append("decode:" + ",".join(h.request_id for h in handles))
+        for i, handle in enumerate(handles):
+            logits = None if result.logits is None else result.logits[i]
+            self._record_token(handle, logits)
+        finished = self._retire()
+        return StepOutcome(
+            kind="decode",
+            clock_s=self.clock_s,
+            elapsed_s=result.elapsed_s,
+            request_ids=tuple(h.request_id for h in handles),
+            finished_ids=finished,
+        )
+
+    def _prompt_ids(self, request: Request) -> np.ndarray:
+        if request.prompt_token_ids is not None:
+            return np.asarray(request.prompt_token_ids, dtype=np.int64)
+        # Length-only request (cost-model backends ignore token content).
+        return np.full(request.prompt_tokens, PLACEHOLDER_TOKEN, dtype=np.int64)
+
+    def _record_token(self, handle: RequestHandle, logits: np.ndarray | None) -> None:
+        params = handle.request.sampling or self.default_sampling
+        if logits is None:
+            token = PLACEHOLDER_TOKEN
+        else:
+            token = sample_token(logits, params, handle._rng)
+        handle.output_tokens.append(token)
+        handle.state.record_decode_token(self.clock_s)
+        # Stop-token handling only applies to real content, not placeholders.
+        if logits is not None and not handle.state.is_finished and params.is_stop(token):
+            handle.state.mark_finished(self.clock_s)
+
+    def _retire(self) -> tuple[str, ...]:
+        finished_ids = []
+        for state in self.scheduler.retire_finished():
+            handle = self._handles[state.request.request_id]
+            self.backend.release(handle.seq_id)
+            handle.record = RequestRecord(
+                request_id=handle.request_id,
+                arrival_time_s=handle.request.arrival_time_s,
+                prefill_finish_time_s=state.prefill_finish_time_s or self.clock_s,
+                finish_time_s=state.finish_time_s or self.clock_s,
+                prompt_tokens=handle.request.prompt_tokens,
+                generated_tokens=state.generated_tokens,
+            )
+            self.metrics.add(handle.record)
+            finished_ids.append(handle.request_id)
+        return tuple(finished_ids)

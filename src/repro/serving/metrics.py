@@ -31,9 +31,14 @@ class RequestRecord:
 
     @property
     def time_per_output_token_s(self) -> float:
-        if self.generated_tokens == 0:
+        """Mean decode latency per output token.
+
+        The first token arrives with prefill (it is covered by TTFT), so the
+        decode phase spans ``generated_tokens - 1`` tokens.
+        """
+        if self.generated_tokens <= 1:
             return 0.0
-        return self.decode_time_s / self.generated_tokens
+        return self.decode_time_s / (self.generated_tokens - 1)
 
 
 @dataclass
@@ -61,8 +66,18 @@ class ServingMetrics:
         return float(np.percentile([r.ttft_s for r in self.records], percentile))
 
     def mean_time_per_output_token_s(self) -> float:
+        """Mean per-token decode latency over requests that actually decoded.
+
+        Requests whose only token came from prefill have no decode phase and
+        are excluded rather than averaged in as zero.
+        """
         self._require_records()
-        return float(np.mean([r.time_per_output_token_s for r in self.records]))
+        samples = [
+            r.time_per_output_token_s for r in self.records if r.generated_tokens > 1
+        ]
+        if not samples:
+            return 0.0
+        return float(np.mean(samples))
 
     def total_generated_tokens(self) -> int:
         return int(sum(r.generated_tokens for r in self.records))

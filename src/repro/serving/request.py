@@ -1,9 +1,11 @@
-"""Request and per-sequence state for the serving simulator."""
+"""Request and per-sequence state for the serving engine."""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.serving.sampling import SamplingParams
 
 __all__ = ["Request", "RequestStatus", "RequestState"]
 
@@ -19,12 +21,20 @@ class RequestStatus(enum.Enum):
 
 @dataclass(frozen=True)
 class Request:
-    """An inference request: a prompt length and a generation budget."""
+    """An inference request: a prompt and a generation budget.
+
+    ``prompt_token_ids`` carries the actual prompt for real-compute backends;
+    cost-model backends only need ``prompt_tokens`` (the length), so the ids
+    are optional.  ``sampling`` overrides the serving engine's default
+    :class:`SamplingParams` for this request.
+    """
 
     request_id: str
     prompt_tokens: int
     max_new_tokens: int
     arrival_time_s: float = 0.0
+    prompt_token_ids: tuple[int, ...] | None = None
+    sampling: SamplingParams | None = None
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0:
@@ -33,6 +43,34 @@ class Request:
             raise ValueError("max_new_tokens must be positive")
         if self.arrival_time_s < 0:
             raise ValueError("arrival_time_s must be non-negative")
+        if self.prompt_token_ids is not None:
+            ids = tuple(int(t) for t in self.prompt_token_ids)
+            if len(ids) != self.prompt_tokens:
+                raise ValueError(
+                    f"prompt_token_ids has {len(ids)} tokens but prompt_tokens is "
+                    f"{self.prompt_tokens}"
+                )
+            object.__setattr__(self, "prompt_token_ids", ids)
+
+    @classmethod
+    def from_prompt(
+        cls,
+        request_id: str,
+        token_ids,
+        max_new_tokens: int,
+        arrival_time_s: float = 0.0,
+        sampling: SamplingParams | None = None,
+    ) -> "Request":
+        """Build a request straight from a prompt token sequence."""
+        ids = tuple(int(t) for t in token_ids)
+        return cls(
+            request_id=request_id,
+            prompt_tokens=len(ids),
+            max_new_tokens=max_new_tokens,
+            arrival_time_s=arrival_time_s,
+            prompt_token_ids=ids,
+            sampling=sampling,
+        )
 
 
 @dataclass
@@ -69,3 +107,10 @@ class RequestState:
         if self.generated_tokens >= self.request.max_new_tokens:
             self.status = RequestStatus.FINISHED
             self.finish_time_s = now_s
+
+    def mark_finished(self, now_s: float) -> None:
+        """Terminate generation early (EOS / stop token) before the budget."""
+        if self.status is not RequestStatus.DECODING:
+            raise ValueError(f"cannot finish request in status {self.status}")
+        self.status = RequestStatus.FINISHED
+        self.finish_time_s = now_s

@@ -9,7 +9,8 @@ prefilled one at a time and then join the running decode batch (iteration-level
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
 from repro.serving.request import Request, RequestState, RequestStatus
 
@@ -35,13 +36,16 @@ class ContinuousBatchingScheduler:
 
     def __init__(self, config: SchedulerConfig) -> None:
         self.config = config
-        self._waiting: list[RequestState] = []
+        self._waiting: deque[RequestState] = deque()
         self._running: list[RequestState] = []
         self._finished: list[RequestState] = []
 
     # -- queue management -------------------------------------------------------
     def submit(self, request: Request) -> RequestState:
-        state = RequestState(request=request)
+        return self.submit_state(RequestState(request=request))
+
+    def submit_state(self, state: RequestState) -> RequestState:
+        """Enqueue an externally owned request state (FCFS order preserved)."""
         self._waiting.append(state)
         return state
 
@@ -89,7 +93,7 @@ class ContinuousBatchingScheduler:
         head = self._waiting[0]
         if self._kv_tokens_if_admitted(head) > self.config.kv_token_capacity:
             return None
-        self._waiting.pop(0)
+        self._waiting.popleft()
         self._running.append(head)
         return head
 

@@ -1,25 +1,29 @@
-"""Serving-loop simulator: scheduler + cost model driven on a virtual clock.
+"""Back-compat shim: the old ``ServingSimulator`` as one ``ServingEngine`` config.
 
-This stitches the pieces together the way a real serving system does: requests
-arrive, the scheduler admits and prefills them (continuous batching), decode
-iterations advance every running sequence by one token, and the GPU cost model
-provides the duration of each prefill pass and decode iteration.  The output is
-a :class:`~repro.serving.metrics.ServingMetrics` with TTFT / per-token latency /
-throughput, which is what the paper's end-to-end comparisons report.
+The serving front door is :class:`~repro.serving.engine.ServingEngine`; the
+cost-model-only serving loop that used to live here is now just a
+:class:`~repro.serving.backend.SimulatedBackend` plugged into that engine.
+This wrapper keeps the old one-shot ``run(requests)`` call shape for existing
+scripts; new code should construct the engine directly::
+
+    engine = ServingEngine(SimulatedBackend(latency), scheduler_config)
+    metrics = engine.run(requests)
 """
 
 from __future__ import annotations
 
 from repro.gpu.simulator import LatencySimulator
-from repro.serving.metrics import RequestRecord, ServingMetrics
+from repro.serving.backend import SimulatedBackend
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import ServingMetrics
 from repro.serving.request import Request
-from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from repro.serving.scheduler import SchedulerConfig
 
 __all__ = ["ServingSimulator"]
 
 
 class ServingSimulator:
-    """Simulate serving a set of requests under one system policy."""
+    """Deprecated alias: simulate serving a set of requests under one policy."""
 
     def __init__(
         self,
@@ -31,50 +35,5 @@ class ServingSimulator:
 
     def run(self, requests: list[Request]) -> ServingMetrics:
         """Serve ``requests`` to completion and return aggregate metrics."""
-        if not requests:
-            raise ValueError("at least one request is required")
-        scheduler = ContinuousBatchingScheduler(self.scheduler_config)
-        pending = sorted(requests, key=lambda r: r.arrival_time_s)
-        clock = 0.0
-        metrics = ServingMetrics()
-
-        submitted = 0
-        while submitted < len(pending) or scheduler.has_work:
-            # Admit everything that has arrived by the current time.
-            while submitted < len(pending) and pending[submitted].arrival_time_s <= clock:
-                scheduler.submit(pending[submitted])
-                submitted += 1
-
-            # Prefer prefilling a new request (one per iteration, as in vLLM).
-            state = scheduler.schedule_prefill()
-            if state is not None:
-                clock += self.latency.prefill_latency(state.request.prompt_tokens)
-                state.record_prefill(clock)
-                continue
-
-            batch = scheduler.decode_batch()
-            if batch:
-                # One decode iteration advances every running request by a token.
-                context = max(s.context_length for s in batch)
-                clock += self.latency.decode_step_latency(context, batch=len(batch))
-                for s in batch:
-                    s.record_decode_token(clock)
-                for s in scheduler.retire_finished():
-                    metrics.add(
-                        RequestRecord(
-                            request_id=s.request.request_id,
-                            arrival_time_s=s.request.arrival_time_s,
-                            prefill_finish_time_s=s.prefill_finish_time_s or clock,
-                            finish_time_s=s.finish_time_s or clock,
-                            prompt_tokens=s.request.prompt_tokens,
-                            generated_tokens=s.generated_tokens,
-                        )
-                    )
-                continue
-
-            # Nothing running and nothing admissible: jump to the next arrival.
-            if submitted < len(pending):
-                clock = max(clock, pending[submitted].arrival_time_s)
-            else:  # pragma: no cover - defensive; has_work guarantees progress
-                break
-        return metrics
+        engine = ServingEngine(SimulatedBackend(self.latency), self.scheduler_config)
+        return engine.run(requests)

@@ -1,7 +1,6 @@
 """Tests for the numerically stable softmax helpers."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

@@ -193,6 +193,114 @@ class TestSparseServing:
         assert len(out) == 4
         assert all(0 <= t < model.config.vocab_size for t in out)
 
+    def test_generate_honors_zero_and_small_budgets(self, model):
+        engine = LServeEngine(
+            model,
+            sparse_config(),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        assert engine.generate(np.arange(32), max_new_tokens=0, seq_id="z") == []
+        assert len(engine.generate(np.arange(32), max_new_tokens=1, seq_id="one")) == 1
+        with pytest.raises(ValueError):
+            engine.generate(np.arange(32), max_new_tokens=-1, seq_id="neg")
+
+    def test_generate_stops_at_eos(self, model):
+        from repro.serving.sampling import SamplingParams
+
+        engine = LServeEngine(
+            model,
+            sparse_config(),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        free = engine.generate(np.arange(64), max_new_tokens=6, seq_id="free")
+        stop = free[1]  # a token the greedy run emits mid-stream
+        engine2 = LServeEngine(
+            model,
+            sparse_config(),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        out = engine2.generate(
+            np.arange(64),
+            max_new_tokens=6,
+            seq_id="stopped",
+            sampling=SamplingParams(stop_token_ids=(stop,)),
+        )
+        assert out == free[:2]  # the stop token is kept, generation halts
+
+    def test_chunked_prefill_matches_single_shot(self, model):
+        tokens = (np.arange(128) * 7) % model.config.vocab_size
+        single = LServeEngine(
+            model,
+            sparse_config(kv_bits=16),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        chunked = LServeEngine(
+            model,
+            sparse_config(kv_bits=16),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        ref = single.prefill("s", tokens)
+        got = chunked.prefill("s", tokens, chunk_size=32)
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+        assert chunked.stats.prefill_tokens == tokens.size
+        # Decode after chunked prefill continues from the same state.
+        np.testing.assert_allclose(
+            chunked.decode("s", 3), single.decode("s", 3), rtol=1e-9, atol=1e-9
+        )
+
+    def test_chunked_prefill_dense_matches_reference_model(self, model):
+        tokens = np.arange(72) % model.config.vocab_size
+        engine = LServeEngine(model, dense_config(), num_cache_pages=256)
+        logits = engine.prefill("s", tokens, chunk_size=16)
+        ref_logits, _ = model.prefill(tokens)
+        np.testing.assert_allclose(logits, ref_logits, rtol=1e-6, atol=1e-6)
+
+    def test_chunk_size_validation(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=256)
+        with pytest.raises(ValueError):
+            engine.prefill("s", np.arange(16), chunk_size=0)
+
+    def test_decode_batch_matches_sequential_decode(self, model):
+        tokens_a = (np.arange(96) * 5) % model.config.vocab_size
+        tokens_b = (np.arange(96) * 11 + 2) % model.config.vocab_size
+
+        def fresh():
+            return LServeEngine(
+                model,
+                sparse_config(kv_bits=16, token_budget=4096),
+                streaming_kv_heads=np.array([False, True]),
+                num_cache_pages=512,
+            )
+
+        batched = fresh()
+        batched.prefill("a", tokens_a)
+        batched.prefill("b", tokens_b)
+        solo = fresh()
+        solo.prefill("a", tokens_a)
+        solo.prefill("b", tokens_b)
+        for t in range(4):
+            got = batched.decode_batch(["a", "b"], [t, t + 1])
+            ref_a = solo.decode("a", t)
+            ref_b = solo.decode("b", t + 1)
+            np.testing.assert_allclose(got[0], ref_a, rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(got[1], ref_b, rtol=1e-9, atol=1e-9)
+        assert batched.stats.decode_steps == 8
+
+    def test_decode_batch_validation(self, model):
+        engine = LServeEngine(model, dense_config(), num_cache_pages=256)
+        engine.prefill("a", np.arange(16))
+        with pytest.raises(ValueError):
+            engine.decode_batch([], [])
+        with pytest.raises(ValueError):
+            engine.decode_batch(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            engine.decode_batch(["a", "a"], [1, 2])
+
     def test_memory_savings_vs_dense(self, model):
         tokens = np.arange(256) % model.config.vocab_size
         dense = LServeEngine(model, dense_config(), num_cache_pages=512)
@@ -226,6 +334,23 @@ class TestEngineLifecycleAndValidation:
         assert engine.cache.dense_cache.allocator.num_allocated > 0
         engine.release("s")
         assert engine.cache.dense_cache.allocator.num_allocated == 0
+
+    def test_release_only_evicts_own_selector_entries(self, model):
+        engine = LServeEngine(
+            model,
+            sparse_config(token_budget=64),
+            streaming_kv_heads=np.array([False, True]),
+            num_cache_pages=512,
+        )
+        tokens = (np.arange(320) * 3) % model.config.vocab_size
+        engine.prefill("a", tokens)
+        engine.prefill("b", tokens[::-1].copy())
+        engine.decode_batch(["a", "b"], [1, 2])
+        assert any(k[0] == "a" for k in engine.selector._cache)
+        assert any(k[0] == "b" for k in engine.selector._cache)
+        engine.release("a")
+        assert not any(k[0] == "a" for k in engine.selector._cache)
+        assert any(k[0] == "b" for k in engine.selector._cache)
 
     def test_empty_prompt_rejected(self, model):
         engine = LServeEngine(model, dense_config(), num_cache_pages=128)

@@ -127,3 +127,24 @@ class TestReusablePageSelector:
         first = reusable.select("s", rng.normal(size=(1, 8)), kmin, kmax)
         second = reusable.select("s", rng.normal(size=(1, 8)), kmin, kmax)
         assert first is second
+
+    def test_release_sequence_only_evicts_that_sequence(self, rng):
+        keys = rng.normal(size=(256, 1, 8))
+        kmin, kmax = stats_from_keys(keys, 4)
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=8)
+        q = rng.normal(size=(1, 8))
+        # Engine-style (seq_id, layer) keys plus a bare key.
+        cached = {}
+        for key in [("a", 0), ("a", 1), ("b", 0), "c"]:
+            cached[key] = reusable.select(key, q, kmin, kmax)
+        assert reusable.num_selector_calls == 4
+        reusable.release_sequence("a")
+        # b and c still hit their caches; a's selections were recomputed.
+        assert reusable.select(("b", 0), q, kmin, kmax) is cached[("b", 0)]
+        assert reusable.select("c", q, kmin, kmax) is cached["c"]
+        assert reusable.num_selector_calls == 4
+        reusable.select(("a", 0), q, kmin, kmax)
+        assert reusable.num_selector_calls == 5
+        reusable.release_sequence("c")
+        reusable.select("c", q, kmin, kmax)
+        assert reusable.num_selector_calls == 6

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.attention.dense import dense_attention
-from repro.attention.masks import streaming_mask
 from repro.core.streaming import StreamingConfig
 from repro.core.unified_sparse_attention import (
     decode_group_attention,

@@ -8,7 +8,6 @@ from repro.eval.niah import NIAHConfig, run_niah
 from repro.eval.reasoning import ReasoningConfig, run_reasoning_eval
 from repro.eval.retrieval_policies import (
     DenseSelection,
-    FlatPageSelection,
     HierarchicalPageSelection,
     StreamingSelection,
 )

@@ -1,6 +1,5 @@
 """Tests for device specs and per-kernel latency models."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.kvcache.quantization import (
-    QuantizedTensor,
     dequantize,
     quantization_error_bound,
     quantize,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.model.configs import tiny_model_config
 from repro.model.transformer import SimpleKVCache, TinyTransformer
 from repro.model.weights import SyntheticWeights
 

@@ -1,0 +1,68 @@
+"""Tests for SamplingParams and the token-sampling kernel."""
+
+import numpy as np
+import pytest
+
+from repro.serving.sampling import SamplingParams, sample_token
+
+
+class TestSamplingParams:
+    def test_defaults_are_greedy(self):
+        params = SamplingParams()
+        assert params.is_greedy
+        assert params.stop_token_ids == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingParams(temperature=-0.5)
+        with pytest.raises(ValueError):
+            SamplingParams(top_k=0)
+
+    def test_stop_tokens_normalised_and_checked(self):
+        params = SamplingParams(stop_token_ids=[np.int64(3), 7])
+        assert params.stop_token_ids == (3, 7)
+        assert params.is_stop(3)
+        assert params.is_stop(np.int64(7))
+        assert not params.is_stop(4)
+
+    def test_greedy_constructor(self):
+        params = SamplingParams.greedy(stop_token_ids=(1,))
+        assert params.is_greedy
+        assert params.is_stop(1)
+
+
+class TestSampleToken:
+    def logits(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=32)
+
+    def test_greedy_is_argmax(self):
+        logits = self.logits()
+        rng = np.random.default_rng(0)
+        assert sample_token(logits, SamplingParams(), rng) == int(np.argmax(logits))
+
+    def test_temperature_sampling_is_seeded_and_varied(self):
+        logits = self.logits()
+        params = SamplingParams(temperature=1.0)
+        draws_a = [
+            sample_token(logits, params, np.random.default_rng(7)) for _ in range(4)
+        ]
+        draws_b = [
+            sample_token(logits, params, np.random.default_rng(7)) for _ in range(4)
+        ]
+        assert draws_a == draws_b  # same seed, same tokens
+        rng = np.random.default_rng(7)
+        many = {sample_token(logits, params, rng) for _ in range(64)}
+        assert len(many) > 1  # actually samples
+
+    def test_top_k_restricts_support(self):
+        logits = self.logits()
+        params = SamplingParams(temperature=2.0, top_k=3)
+        allowed = set(np.argsort(logits)[-3:].tolist())
+        rng = np.random.default_rng(3)
+        for _ in range(64):
+            assert sample_token(logits, params, rng) in allowed
+
+    def test_empty_logits_rejected(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros(0), SamplingParams(), np.random.default_rng(0))

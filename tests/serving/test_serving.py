@@ -1,4 +1,4 @@
-"""Tests for the serving framework (requests, scheduler, metrics, simulator)."""
+"""Tests for the serving framework (requests, scheduler, metrics, front door)."""
 
 import pytest
 
@@ -6,9 +6,18 @@ from repro.baselines.systems import lserve_policy, vllm_policy
 from repro.gpu.device import A100_80G
 from repro.gpu.simulator import LatencySimulator
 from repro.model.configs import LLAMA_3_8B
-from repro.serving.metrics import RequestRecord, ServingMetrics
-from repro.serving.request import Request, RequestState, RequestStatus
-from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from repro.serving import (
+    Request,
+    RequestState,
+    RequestStatus,
+    SamplingParams,
+    SchedulerConfig,
+    ServingEngine,
+    ServingMetrics,
+    SimulatedBackend,
+)
+from repro.serving.metrics import RequestRecord
+from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.serving.server import ServingSimulator
 
 
@@ -21,6 +30,19 @@ class TestRequest:
         with pytest.raises(ValueError):
             Request("r", prompt_tokens=1, max_new_tokens=1, arrival_time_s=-1)
 
+    def test_prompt_token_ids_must_match_length(self):
+        with pytest.raises(ValueError):
+            Request("r", prompt_tokens=3, max_new_tokens=1, prompt_token_ids=(1, 2))
+        req = Request("r", prompt_tokens=2, max_new_tokens=1, prompt_token_ids=(1, 2))
+        assert req.prompt_token_ids == (1, 2)
+
+    def test_from_prompt(self):
+        req = Request.from_prompt("r", [4, 5, 6], max_new_tokens=2,
+                                  sampling=SamplingParams(stop_token_ids=(0,)))
+        assert req.prompt_tokens == 3
+        assert req.prompt_token_ids == (4, 5, 6)
+        assert req.sampling.stop_token_ids == (0,)
+
     def test_state_lifecycle(self):
         state = RequestState(Request("r", prompt_tokens=10, max_new_tokens=2))
         assert state.context_length == 0
@@ -32,6 +54,17 @@ class TestRequest:
         assert state.is_finished
         assert state.finish_time_s == 3.0
         assert state.context_length == 12
+
+    def test_mark_finished_stops_early(self):
+        state = RequestState(Request("r", prompt_tokens=4, max_new_tokens=10))
+        state.record_prefill(1.0)
+        state.record_decode_token(2.0)
+        state.mark_finished(2.5)
+        assert state.is_finished
+        assert state.finish_time_s == 2.5
+        assert state.generated_tokens == 1
+        with pytest.raises(ValueError):
+            state.mark_finished(3.0)
 
     def test_invalid_transitions(self):
         state = RequestState(Request("r", prompt_tokens=4, max_new_tokens=1))
@@ -66,6 +99,28 @@ class TestScheduler:
         assert admitted.request.request_id == "big"
         # The second request does not fit until the first finishes (FCFS, no skipping).
         assert sched.schedule_prefill() is None
+
+    def test_admission_order_preserved_under_kv_backpressure(self):
+        """Regression: requests blocked by KV capacity must be admitted in the
+        exact order they were submitted once capacity frees up."""
+        sched = self.make(max_batch_size=8, kv_token_capacity=250)
+        sched.submit(Request("head", prompt_tokens=200, max_new_tokens=10))
+        for i in range(4):
+            sched.submit(Request(f"q{i}", prompt_tokens=40, max_new_tokens=10))
+        head = sched.schedule_prefill()
+        assert head.request.request_id == "head"
+        # Everything else is blocked behind the big head-of-line request.
+        assert sched.schedule_prefill() is None
+        assert [s.request.request_id for s in sched.waiting] == ["q0", "q1", "q2", "q3"]
+        # Finish the head request; the queue must drain strictly FCFS.
+        head.record_prefill(0.0)
+        for _ in range(10):
+            head.record_decode_token(1.0)
+        sched.retire_finished()
+        admitted = []
+        while (state := sched.schedule_prefill()) is not None:
+            admitted.append(state.request.request_id)
+        assert admitted == ["q0", "q1", "q2", "q3"]
 
     def test_retire_frees_capacity(self):
         sched = self.make(max_batch_size=1, kv_token_capacity=1_000)
@@ -104,7 +159,9 @@ class TestMetrics:
         r = self.record()
         assert r.ttft_s == 1.0
         assert r.decode_time_s == 2.0
-        assert r.time_per_output_token_s == 0.5
+        # First token is covered by TTFT; decode spans the remaining 3 tokens.
+        assert r.time_per_output_token_s == pytest.approx(2.0 / 3)
+        assert self.record(gen=1).time_per_output_token_s == 0.0
 
     def test_aggregates(self):
         metrics = ServingMetrics()
@@ -121,11 +178,22 @@ class TestMetrics:
         with pytest.raises(ValueError):
             ServingMetrics().mean_ttft_s()
 
+    def test_mean_tpot_excludes_prefill_only_requests(self):
+        metrics = ServingMetrics()
+        metrics.add(self.record("a", 0.0, 1.0, 3.0, gen=5))  # 2.0s over 4 decode tokens
+        metrics.add(self.record("b", 0.0, 1.0, 1.0, gen=1))  # first token only
+        assert metrics.mean_time_per_output_token_s() == pytest.approx(0.5)
+        only_prefill = ServingMetrics()
+        only_prefill.add(self.record("c", 0.0, 1.0, 1.0, gen=1))
+        assert only_prefill.mean_time_per_output_token_s() == 0.0
 
-class TestServingSimulator:
-    def make_sim(self, policy):
+
+class TestServingEngine:
+    def make_engine(self, policy, **sched):
+        sched.setdefault("max_batch_size", 4)
+        sched.setdefault("kv_token_capacity", 600_000)
         latency = LatencySimulator(LLAMA_3_8B, A100_80G, policy)
-        return ServingSimulator(latency, SchedulerConfig(max_batch_size=4, kv_token_capacity=600_000))
+        return ServingEngine(SimulatedBackend(latency), SchedulerConfig(**sched))
 
     def requests(self, n=4, prompt=32_768, out=64):
         return [
@@ -134,14 +202,53 @@ class TestServingSimulator:
         ]
 
     def test_all_requests_complete(self):
-        metrics = self.make_sim(lserve_policy()).run(self.requests())
+        engine = self.make_engine(lserve_policy())
+        metrics = engine.run(self.requests())
         assert len(metrics) == 4
         assert metrics.total_generated_tokens() == 4 * 64
+        assert not engine.has_work
+
+    def test_submit_step_run_until_complete(self):
+        engine = self.make_engine(lserve_policy())
+        handle = engine.submit(Request("a", prompt_tokens=1024, max_new_tokens=4))
+        outcome = engine.step()
+        assert outcome.kind == "prefill"
+        assert outcome.request_ids == ("a",)
+        assert handle.state.status is RequestStatus.DECODING
+        metrics = engine.run_until_complete()
+        assert handle.finished
+        assert handle.record is metrics.records[0]
+        assert handle.record.generated_tokens == 4
+
+    def test_duplicate_request_id_rejected(self):
+        engine = self.make_engine(lserve_policy())
+        engine.submit(Request("a", prompt_tokens=16, max_new_tokens=1))
+        with pytest.raises(ValueError):
+            engine.submit(Request("a", prompt_tokens=16, max_new_tokens=1))
+
+    def test_unschedulable_request_rejected_at_submit(self):
+        """A request that could never fit kv_token_capacity is refused up front
+        instead of silently stalling the run and dropping from the metrics."""
+        engine = self.make_engine(lserve_policy(), kv_token_capacity=1_000)
+        with pytest.raises(ValueError, match="never be admitted"):
+            engine.submit(Request("big", prompt_tokens=2_000, max_new_tokens=10))
+        # Requests that fit (even if only on an empty system) still complete.
+        metrics = engine.run(
+            [Request(f"r{i}", prompt_tokens=900, max_new_tokens=10) for i in range(3)]
+        )
+        assert len(metrics) == 3
+
+    def test_decision_log_records_schedule(self):
+        engine = self.make_engine(lserve_policy(), max_batch_size=2)
+        engine.run(self.requests(n=2, prompt=1024, out=2))
+        assert engine.decision_log[0] == "prefill:r0"
+        assert engine.decision_log[1] == "prefill:r1"
+        assert all(d.startswith("decode:") for d in engine.decision_log[2:])
 
     def test_lserve_outperforms_vllm_end_to_end(self):
         reqs = self.requests(n=3, prompt=131_072, out=128)
-        lserve = self.make_sim(lserve_policy()).run(reqs)
-        vllm = self.make_sim(vllm_policy()).run(reqs)
+        lserve = self.make_engine(lserve_policy()).run(reqs)
+        vllm = self.make_engine(vllm_policy()).run(reqs)
         assert (
             lserve.generation_throughput_tokens_s()
             > vllm.generation_throughput_tokens_s()
@@ -150,14 +257,51 @@ class TestServingSimulator:
 
     def test_empty_request_list_rejected(self):
         with pytest.raises(ValueError):
-            self.make_sim(lserve_policy()).run([])
+            self.make_engine(lserve_policy()).run([])
 
     def test_staggered_arrivals(self):
         reqs = [
             Request("a", prompt_tokens=16_384, max_new_tokens=32, arrival_time_s=0.0),
             Request("b", prompt_tokens=16_384, max_new_tokens=32, arrival_time_s=100.0),
         ]
-        metrics = self.make_sim(lserve_policy()).run(reqs)
+        metrics = self.make_engine(lserve_policy()).run(reqs)
         assert len(metrics) == 2
         b = next(r for r in metrics.records if r.request_id == "b")
         assert b.prefill_finish_time_s >= 100.0
+
+    def test_clear_finished_frees_handles_and_ids(self):
+        engine = self.make_engine(lserve_policy())
+        engine.run([Request("a", prompt_tokens=1024, max_new_tokens=2)])
+        assert engine.handle("a").finished
+        assert engine.clear_finished() == 1
+        with pytest.raises(KeyError):
+            engine.handle("a")
+        # The id is reusable and completed metrics are retained.
+        engine.run([Request("a", prompt_tokens=1024, max_new_tokens=2)])
+        assert len(engine.metrics) == 2
+
+    def test_backend_work_accounting(self):
+        engine = self.make_engine(lserve_policy())
+        engine.run(self.requests(n=2, prompt=4096, out=4))
+        work = engine.backend.work
+        assert work.prefill_calls == 2
+        assert work.prefill_tokens == 2 * 4096
+        # First token comes from prefill; the rest from decode iterations.
+        assert work.decode_tokens == 2 * 3
+        assert work.total_time_s > 0
+
+
+class TestServingSimulatorShim:
+    """The legacy one-shot wrapper is one configuration of ServingEngine."""
+
+    def test_run_matches_serving_engine(self):
+        latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+        config = SchedulerConfig(max_batch_size=4, kv_token_capacity=600_000)
+        reqs = [
+            Request(f"r{i}", prompt_tokens=32_768, max_new_tokens=16) for i in range(3)
+        ]
+        shim = ServingSimulator(latency, config).run(reqs)
+        direct = ServingEngine(SimulatedBackend(latency), config).run(reqs)
+        assert len(shim) == len(direct) == 3
+        for a, b in zip(shim.records, direct.records):
+            assert a == b
