@@ -1,0 +1,193 @@
+"""Arrival-rate vs. SLO-attainment sweep across scheduler policies.
+
+For each (scenario preset, scheduling policy, arrival-rate multiplier) cell,
+a seeded trace from the workload generator is served through the
+``ServingEngine`` on the LServe cost-model backend (virtual time, so 128K
+contexts sweep in seconds of wall time) under a KV-constrained scheduler, and
+the cell reports SLO attainment (fraction of requests meeting the scenario's
+TTFT/TPOT objectives), TTFT percentiles, queueing delay, and preemptions.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serving_slo.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving_slo.py --smoke    # CI smoke
+
+The JSON report is written to ``benchmarks/results/BENCH_serving_slo.json``
+(override with ``--output``); CI uploads it as a workflow artifact so the
+perf trajectory accumulates across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.baselines.systems import lserve_policy
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B
+from repro.serving import (
+    SchedulerConfig,
+    ServingEngine,
+    SimulatedBackend,
+    WorkloadGenerator,
+    scenario,
+)
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_serving_slo.json"
+
+#: Per-scenario scheduler sizing: KV pool chosen to be tight enough that the
+#: high-rate end of the sweep actually exercises watermark back-pressure and
+#: preemption, while still admitting the scenario's largest single request.
+SCENARIO_KV_CAPACITY = {
+    "chat": 16_384,
+    "long_document_qa": 196_608,
+    "mixed_agentic": 131_072,
+}
+
+
+def run_cell(
+    scenario_name: str,
+    policy: str,
+    rate_multiplier: float,
+    n_requests: int,
+    seed: int,
+    max_batch_size: int,
+) -> dict:
+    """Serve one seeded trace and return the cell's metrics as a dict."""
+    spec = scenario(scenario_name)
+    spec = dataclasses.replace(
+        spec, arrival_rate_rps=spec.arrival_rate_rps * rate_multiplier
+    )
+    capacity = SCENARIO_KV_CAPACITY[scenario_name]
+    if spec.max_kv_tokens() > capacity:
+        raise ValueError(
+            f"scenario {scenario_name!r} can emit a {spec.max_kv_tokens()}-token "
+            f"request but the KV pool is only {capacity} tokens"
+        )
+    requests = WorkloadGenerator(spec, seed=seed).generate(n_requests)
+    latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+    engine = ServingEngine(
+        SimulatedBackend(latency),
+        SchedulerConfig(
+            max_batch_size=max_batch_size,
+            kv_token_capacity=capacity,
+            # Narrow admission-to-capacity gap so decode growth of an
+            # overcommitted batch actually reaches the preemption trigger.
+            kv_high_watermark=capacity - 256,
+            kv_low_watermark=int(0.75 * capacity),
+            policy=policy,
+        ),
+    )
+    metrics = engine.run(requests)
+    return {
+        "scenario": scenario_name,
+        "policy": policy,
+        "rate_multiplier": rate_multiplier,
+        "arrival_rate_rps": spec.arrival_rate_rps,
+        "requests": n_requests,
+        "ttft_slo_s": spec.ttft_slo_s,
+        "tpot_slo_s": spec.tpot_slo_s,
+        "slo_attainment": metrics.slo_attainment(spec.ttft_slo_s, spec.tpot_slo_s),
+        "p50_ttft_s": metrics.percentile_ttft_s(50),
+        "p99_ttft_s": metrics.percentile_ttft_s(99),
+        "mean_tpot_s": metrics.mean_time_per_output_token_s(),
+        "mean_queueing_delay_s": metrics.mean_queueing_delay_s(),
+        "preemptions": metrics.total_preemptions(),
+        "throughput_tokens_s": metrics.generation_throughput_tokens_s(),
+    }
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render the sweep as an aligned text table."""
+    header = (
+        f"{'scenario':<18}{'policy':<10}{'xrate':>6}{'SLO%':>8}{'p50 TTFT':>10}"
+        f"{'p99 TTFT':>10}{'queue s':>9}{'preempt':>9}{'tok/s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['scenario']:<18}{r['policy']:<10}{r['rate_multiplier']:>6.2g}"
+            f"{100 * r['slo_attainment']:>7.1f}%{r['p50_ttft_s']:>10.2f}"
+            f"{r['p99_ttft_s']:>10.2f}{r['mean_queueing_delay_s']:>9.2f}"
+            f"{r['preemptions']:>9d}{r['throughput_tokens_s']:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Run the sweep and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI-sized sweep (2 scenarios x 2 policies x 2 rates, 24 requests)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario presets (default: all, or a smoke subset)",
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated scheduler policies (default: fcfs,sjf,priority)",
+    )
+    parser.add_argument(
+        "--rates",
+        default=None,
+        help="comma-separated arrival-rate multipliers of each preset's base rate",
+    )
+    parser.add_argument("--n", type=int, default=None, help="requests per cell")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--batch", type=int, default=16, help="max batch size")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scenarios = ["chat", "long_document_qa"]
+        policies = ["fcfs", "sjf"]
+        rates = [1.0, 4.0]
+        n_requests = 24
+    else:
+        scenarios = list(SCENARIO_KV_CAPACITY)
+        policies = ["fcfs", "sjf", "priority"]
+        rates = [0.5, 1.0, 2.0, 4.0]
+        n_requests = 120
+    if args.scenarios:
+        scenarios = args.scenarios.split(",")
+    if args.policies:
+        policies = args.policies.split(",")
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+    if args.n:
+        n_requests = args.n
+
+    rows = []
+    for name in scenarios:
+        for rate in rates:
+            for policy in policies:
+                rows.append(
+                    run_cell(name, policy, rate, n_requests, args.seed, args.batch)
+                )
+
+    print(format_table(rows))
+    report = {
+        "benchmark": "serving_slo",
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        "max_batch_size": args.batch,
+        "kv_capacity_by_scenario": {s: SCENARIO_KV_CAPACITY[s] for s in scenarios},
+        "results": rows,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\n[saved to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Scheduler-policy shootout on a generated mixed agentic workload.
+
+Draws one seeded trace from the ``mixed_agentic`` scenario preset (bursty
+arrivals; interactive turns at priority 0 mixed with long background agent
+jobs at priority 1) and serves the *same* trace under FCFS,
+shortest-prompt-first, and priority scheduling on a KV-constrained pool, so
+the only difference between the runs is the admission order and who gets
+preempted under pressure.  Reports per-class TTFT percentiles, queueing
+delay, preemption counts, and SLO attainment per policy.
+
+Run with:  python examples/scheduling_policies.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.systems import lserve_policy
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B
+from repro.serving import (
+    SchedulerConfig,
+    ServingEngine,
+    SimulatedBackend,
+    WorkloadGenerator,
+    scenario,
+)
+
+N_REQUESTS = 60
+KV_CAPACITY = 131_072
+POLICIES = ("fcfs", "sjf", "priority")
+
+
+def main() -> None:
+    spec = scenario("mixed_agentic")
+    requests = WorkloadGenerator(spec, seed=0).generate(N_REQUESTS)
+    interactive = sum(1 for r in requests if r.priority == 0)
+    print(
+        f"Workload: {spec.name} — {N_REQUESTS} requests over "
+        f"{requests[-1].arrival_time_s:.0f}s ({interactive} interactive / "
+        f"{N_REQUESTS - interactive} background), KV pool {KV_CAPACITY} tokens\n"
+    )
+    print(
+        f"{'policy':<10}{'class':<13}{'p50 TTFT':>10}{'p95 TTFT':>10}"
+        f"{'queue s':>9}{'SLO%':>8}{'preempt':>9}"
+    )
+    for policy in POLICIES:
+        latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+        engine = ServingEngine(
+            SimulatedBackend(latency),
+            SchedulerConfig(
+                max_batch_size=16,
+                kv_token_capacity=KV_CAPACITY,
+                kv_high_watermark=KV_CAPACITY - 256,
+                kv_low_watermark=int(0.75 * KV_CAPACITY),
+                policy=policy,
+            ),
+        )
+        metrics = engine.run(list(requests))
+        for priority, label in ((0, "interactive"), (1, "background")):
+            print(
+                f"{policy:<10}{label:<13}"
+                f"{metrics.percentile_ttft_s(50, priority=priority):>10.2f}"
+                f"{metrics.percentile_ttft_s(95, priority=priority):>10.2f}"
+                f"{metrics.mean_queueing_delay_s(priority=priority):>9.2f}"
+                f"{100 * metrics.slo_attainment(spec.ttft_slo_s, spec.tpot_slo_s, priority=priority):>7.1f}%"
+                f"{metrics.total_preemptions(priority=priority):>9d}"
+            )
+    print(
+        "\nPriority scheduling protects the interactive class: its TTFT and SLO"
+        "\nattainment improve while background jobs absorb the queueing delay"
+        "\n(and the preemptions, when KV pressure forces evictions)."
+    )
+
+
+if __name__ == "__main__":
+    main()

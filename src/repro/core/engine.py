@@ -57,6 +57,7 @@ class EngineStats:
 
     @property
     def prefill_block_sparsity(self) -> float:
+        """Fraction of prefill attention blocks skipped by the sparse masks."""
         if self.prefill_blocks_total == 0:
             return 0.0
         return 1.0 - self.prefill_blocks_visited / self.prefill_blocks_total
@@ -162,6 +163,7 @@ class LServeEngine:
 
     # -- sequence lifecycle ------------------------------------------------------
     def add_sequence(self, seq_id: object) -> None:
+        """Register an empty sequence in the paged KV cache."""
         self.cache.add_sequence(seq_id)
 
     def release(self, seq_id: object) -> None:
@@ -174,6 +176,7 @@ class LServeEngine:
         self.selector.release_sequence(seq_id)
 
     def context_length(self, seq_id: object) -> int:
+        """Tokens currently held in the KV cache for ``seq_id``."""
         return self.cache.seq_len(seq_id)
 
     # -- serving entry points ------------------------------------------------------

@@ -14,10 +14,17 @@ accounting.  Two implementations exist:
 :class:`~repro.serving.engine.ServingEngine` is the front door on top:
 ``submit(Request) -> RequestHandle``, ``step()``, ``run_until_complete()``,
 and a ``generate()`` convenience with :class:`~repro.serving.sampling.SamplingParams`
-(greedy / temperature / top-k, EOS and stop-token handling).  The FCFS
-continuous-batching scheduler drives whichever backend is plugged in, and
-TTFT / per-token latency / throughput are reported through the same
-:class:`~repro.serving.metrics.ServingMetrics` records either way.
+(greedy / temperature / top-k, EOS and stop-token handling).  Scheduling is
+policy-driven and preemptive: the
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` admits requests
+under a pluggable policy (FCFS / shortest-prompt-first / priority classes)
+with best-effort high/low-watermark KV admission, and evicts running requests
+under KV pressure (recompute-style preemption, replayed byte-identically on
+resume).  :mod:`repro.serving.workload` generates seeded Poisson/bursty
+request traces from scenario presets, and TTFT / per-token latency /
+throughput / SLO attainment are reported through the same
+:class:`~repro.serving.metrics.ServingMetrics` records for every backend and
+policy.
 """
 
 from repro.serving.backend import (
@@ -31,8 +38,24 @@ from repro.serving.engine import RequestHandle, ServingEngine, StepOutcome
 from repro.serving.metrics import RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
 from repro.serving.sampling import SamplingParams, sample_token
-from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from repro.serving.scheduler import (
+    POLICIES,
+    ContinuousBatchingScheduler,
+    FCFSPolicy,
+    PriorityPolicy,
+    SchedulerConfig,
+    SchedulingPolicy,
+    ShortestPromptFirstPolicy,
+    make_policy,
+)
 from repro.serving.server import ServingSimulator
+from repro.serving.workload import (
+    SCENARIOS,
+    RequestClass,
+    WorkloadGenerator,
+    WorkloadSpec,
+    scenario,
+)
 
 __all__ = [
     "BackendWork",
@@ -48,9 +71,20 @@ __all__ = [
     "RequestStatus",
     "ContinuousBatchingScheduler",
     "SchedulerConfig",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "ShortestPromptFirstPolicy",
+    "PriorityPolicy",
+    "POLICIES",
+    "make_policy",
     "SamplingParams",
     "sample_token",
     "ServingMetrics",
     "RequestRecord",
     "ServingSimulator",
+    "WorkloadSpec",
+    "RequestClass",
+    "WorkloadGenerator",
+    "SCENARIOS",
+    "scenario",
 ]

@@ -65,20 +65,24 @@ class BackendWork:
 
     @property
     def total_time_s(self) -> float:
+        """Total billed backend seconds (prefill + decode)."""
         return self.prefill_time_s + self.decode_time_s
 
     @property
     def mean_decode_batch_size(self) -> float:
+        """Average number of sequences per decode iteration."""
         if self.decode_iterations == 0:
             return 0.0
         return self.decode_tokens / self.decode_iterations
 
     def record_prefill(self, n_tokens: int, elapsed_s: float) -> None:
+        """Account one prefill call of ``n_tokens`` prompt tokens."""
         self.prefill_calls += 1
         self.prefill_tokens += n_tokens
         self.prefill_time_s += elapsed_s
 
     def record_decode(self, batch: int, elapsed_s: float) -> None:
+        """Account one decode iteration over ``batch`` sequences."""
         self.decode_iterations += 1
         self.decode_tokens += batch
         self.decode_time_s += elapsed_s
@@ -133,6 +137,7 @@ class SimulatedBackend:
         self._context: dict[object, int] = {}
 
     def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
+        """Bill the modelled time-to-first-token for a fresh sequence's prompt."""
         if seq_id in self._context:
             raise ValueError(f"sequence {seq_id!r} already prefilled")
         n = int(np.asarray(token_ids).size)
@@ -146,6 +151,7 @@ class SimulatedBackend:
     def decode_batch(
         self, seq_ids: list[object], token_ids: list[int] | np.ndarray
     ) -> StepResult:
+        """Bill one decode iteration at the longest context in the batch."""
         if not seq_ids:
             raise ValueError("decode_batch requires at least one sequence")
         for seq_id in seq_ids:
@@ -159,6 +165,7 @@ class SimulatedBackend:
         return StepResult(logits=None, elapsed_s=elapsed)
 
     def release(self, seq_id: object) -> None:
+        """Forget the sequence's modelled context length (idempotent)."""
         self._context.pop(seq_id, None)
 
 
@@ -205,6 +212,7 @@ class LServeBackend:
         return self.engine.stats
 
     def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
+        """Run real (optionally chunked) prefill; returns last-position logits."""
         token_ids = np.asarray(token_ids, dtype=np.int64)
         wall_start = time.perf_counter()
         logits = self.engine.prefill(seq_id, token_ids, chunk_size=self.prefill_chunk_size)
@@ -220,6 +228,7 @@ class LServeBackend:
     def decode_batch(
         self, seq_ids: list[object], token_ids: list[int] | np.ndarray
     ) -> StepResult:
+        """Advance every sequence by one token through the real engine."""
         context = max(self.engine.context_length(s) for s in seq_ids)
         wall_start = time.perf_counter()
         logits = self.engine.decode_batch(seq_ids, token_ids)
@@ -233,4 +242,5 @@ class LServeBackend:
         return StepResult(logits=logits, elapsed_s=elapsed)
 
     def release(self, seq_id: object) -> None:
+        """Free the engine's KV pages and cached page selections for ``seq_id``."""
         self.engine.release(seq_id)

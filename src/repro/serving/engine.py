@@ -1,12 +1,19 @@
 """The serving front door: submit requests, step the system, collect metrics.
 
 :class:`ServingEngine` is the single entry point for serving under continuous
-batching.  It owns the FCFS scheduler, a virtual clock, and an
-:class:`~repro.serving.backend.InferenceBackend` that does the work — the real
-:class:`~repro.serving.backend.LServeBackend` or the cost-model
+batching.  It owns the policy-driven preemptive scheduler, a virtual clock,
+and an :class:`~repro.serving.backend.InferenceBackend` that does the work —
+the real :class:`~repro.serving.backend.LServeBackend` or the cost-model
 :class:`~repro.serving.backend.SimulatedBackend`.  Token ids flow through the
 backend on every scheduler decision, so TTFT / throughput metrics, scheduler
 decisions, and engine work statistics all come from the *same* run.
+
+Preemption is **recompute-style**: when the scheduler evicts a running
+request under KV pressure the engine releases its backend KV; on
+re-admission it re-prefills the prompt and *replays* the already-generated
+tokens through the backend (billing the recompute time) so the rebuilt KV
+state — and therefore every subsequent token — is byte-identical to an
+uninterrupted run.
 
 Typical use::
 
@@ -25,7 +32,7 @@ import numpy as np
 
 from repro.serving.backend import InferenceBackend
 from repro.serving.metrics import RequestRecord, ServingMetrics
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request, RequestState, RequestStatus
 from repro.serving.sampling import SamplingParams, sample_token
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
 
@@ -47,26 +54,37 @@ class RequestHandle:
 
     @property
     def request_id(self) -> str:
+        """The request's unique id."""
         return self.request.request_id
 
     @property
     def finished(self) -> bool:
+        """Whether the request has produced its last token."""
         return self.state.is_finished
 
     @property
     def seq_id(self) -> str:
+        """The backend sequence id this request's KV lives under."""
         return self.request.request_id
 
 
 @dataclass(frozen=True)
 class StepOutcome:
-    """What one call to :meth:`ServingEngine.step` did."""
+    """What one call to :meth:`ServingEngine.step` did.
 
-    kind: str  # "prefill" | "decode" | "idle"
+    ``kind`` is ``"prefill"`` (a fresh request was admitted and prefilled),
+    ``"resume"`` (a preempted request was re-admitted and its KV recomputed),
+    ``"decode"`` (one decode iteration over the running batch), or ``"idle"``
+    (the clock jumped to the next arrival).  ``preempted_ids`` lists requests
+    evicted under KV pressure immediately before a decode iteration.
+    """
+
+    kind: str  # "prefill" | "resume" | "decode" | "idle"
     clock_s: float
     elapsed_s: float
     request_ids: tuple[str, ...] = ()
     finished_ids: tuple[str, ...] = ()
+    preempted_ids: tuple[str, ...] = ()
 
 
 class ServingEngine:
@@ -83,9 +101,17 @@ class ServingEngine:
         self.default_sampling = default_sampling or SamplingParams()
         self.clock_s = 0.0
         self.metrics = ServingMetrics()
-        #: Scheduler decision trace ("prefill:<id>" / "decode:<id>,<id>,..."),
-        #: identical across backends for the same request trace.
+        #: Scheduler decision trace ("prefill:<id>" / "resume:<id>" /
+        #: "preempt:<id>" / "decode:<id>,<id>,..."), identical across backends
+        #: for the same request trace.
         self.decision_log: list[str] = []
+        #: Tokens re-prefilled / re-decoded to rebuild preempted requests' KV.
+        #: Replay calls are real backend work and are counted in
+        #: ``backend.work`` like any other prefill/decode call; these counters
+        #: let analyses separate recompute overhead from first-pass serving
+        #: work (e.g. ``work.decode_tokens - recompute_decode_tokens``).
+        self.recompute_prefill_tokens = 0
+        self.recompute_decode_tokens = 0
         self._handles: dict[str, RequestHandle] = {}
         self._arrivals: list[Request] = []  # sorted by arrival time (FCFS ties stable)
 
@@ -102,13 +128,7 @@ class ServingEngine:
                 "backend produces real logits; a length-only request would silently "
                 "generate from a placeholder prompt. Build it with Request.from_prompt()."
             )
-        capacity = self.scheduler.config.kv_token_capacity
-        if request.prompt_tokens + request.max_new_tokens > capacity:
-            raise ValueError(
-                f"request {request.request_id!r} needs "
-                f"{request.prompt_tokens + request.max_new_tokens} KV tokens but "
-                f"kv_token_capacity is {capacity}; it could never be admitted"
-            )
+        self.scheduler.config.validate_request_fits(request)
         handle = RequestHandle(request=request, state=RequestState(request=request))
         params = request.sampling or self.default_sampling
         handle._rng = np.random.default_rng(params.seed)
@@ -117,6 +137,7 @@ class ServingEngine:
         return handle
 
     def handle(self, request_id: str) -> RequestHandle:
+        """Look up the live handle of a submitted request."""
         return self._handles[request_id]
 
     def clear_finished(self) -> int:
@@ -134,26 +155,32 @@ class ServingEngine:
 
     @property
     def has_work(self) -> bool:
+        """Whether any submitted request has not yet finished."""
         return bool(self._arrivals) or self.scheduler.has_work
 
     # -- the serving loop ---------------------------------------------------------
     def step(self) -> StepOutcome | None:
         """Run one scheduler iteration; returns ``None`` when nothing is left.
 
-        Mirrors vLLM-style iteration-level scheduling: admit arrived requests,
-        prefer prefilling one waiting request, otherwise run one decode
-        iteration over the running batch, otherwise jump the clock to the
-        next arrival.
+        Mirrors vLLM-style iteration-level scheduling: admit arrived requests
+        (fresh prefill, or recompute-resume for preempted ones), otherwise
+        preempt under KV pressure and run one decode iteration over the
+        surviving batch, otherwise jump the clock to the next arrival.
+        Preemption and the subsequent decode happen in the same step, so
+        every pressure event is immediately followed by forward progress.
         """
         self._admit_arrived()
 
         state = self.scheduler.schedule_prefill()
         if state is not None:
+            if state.status is RequestStatus.PREEMPTED:
+                return self._step_resume(state)
             return self._step_prefill(state)
 
+        preempted = self._preempt_for_pressure()
         batch = self.scheduler.decode_batch()
         if batch:
-            return self._step_decode(batch)
+            return self._step_decode(batch, preempted)
 
         if self._arrivals:
             next_arrival = self._arrivals[0].arrival_time_s
@@ -218,6 +245,7 @@ class ServingEngine:
 
     def _step_prefill(self, state: RequestState) -> StepOutcome:
         handle = self._handles[state.request.request_id]
+        state.record_scheduled(self.clock_s)
         token_ids = self._prompt_ids(handle.request)
         result = self.backend.prefill(handle.seq_id, token_ids)
         self.clock_s += result.elapsed_s
@@ -234,7 +262,47 @@ class ServingEngine:
             finished_ids=finished,
         )
 
-    def _step_decode(self, batch: list[RequestState]) -> StepOutcome:
+    def _step_resume(self, state: RequestState) -> StepOutcome:
+        """Recompute a preempted request's KV: re-prefill, then replay its tokens.
+
+        The prompt is prefilled from scratch and every already-generated token
+        except the last is fed back through single-sequence decode calls —
+        exactly the calls an uninterrupted run made — so the rebuilt KV (and
+        any selector state) is bit-identical and the next sampled token matches
+        the no-preemption run.  No new token is recorded and the sampling rng
+        is untouched; the whole recompute is billed on the serving clock.
+        """
+        handle = self._handles[state.request.request_id]
+        result = self.backend.prefill(handle.seq_id, self._prompt_ids(handle.request))
+        elapsed = result.elapsed_s
+        self.recompute_prefill_tokens += handle.request.prompt_tokens
+        for token in handle.output_tokens[:-1]:
+            replay = self.backend.decode_batch([handle.seq_id], [token])
+            elapsed += replay.elapsed_s
+            self.recompute_decode_tokens += 1
+        self.clock_s += elapsed
+        self.decision_log.append(f"resume:{handle.request_id}")
+        state.record_resume(self.clock_s)
+        return StepOutcome(
+            kind="resume",
+            clock_s=self.clock_s,
+            elapsed_s=elapsed,
+            request_ids=(handle.request_id,),
+        )
+
+    def _preempt_for_pressure(self) -> tuple[str, ...]:
+        """Evict running requests under KV pressure; returns the evicted ids."""
+        victims = self.scheduler.preempt_for_pressure()
+        for state in victims:
+            handle = self._handles[state.request.request_id]
+            state.record_preempt(self.clock_s)
+            self.backend.release(handle.seq_id)
+            self.decision_log.append(f"preempt:{handle.request_id}")
+        return tuple(s.request.request_id for s in victims)
+
+    def _step_decode(
+        self, batch: list[RequestState], preempted: tuple[str, ...] = ()
+    ) -> StepOutcome:
         handles = [self._handles[s.request.request_id] for s in batch]
         tokens = [
             h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN for h in handles
@@ -252,6 +320,7 @@ class ServingEngine:
             elapsed_s=result.elapsed_s,
             request_ids=tuple(h.request_id for h in handles),
             finished_ids=finished,
+            preempted_ids=preempted,
         )
 
     def _prompt_ids(self, request: Request) -> np.ndarray:
@@ -284,6 +353,10 @@ class ServingEngine:
                 finish_time_s=state.finish_time_s or self.clock_s,
                 prompt_tokens=handle.request.prompt_tokens,
                 generated_tokens=state.generated_tokens,
+                priority=handle.request.priority,
+                preemptions=state.preemptions,
+                scheduled_time_s=state.scheduled_time_s,
+                preempted_stall_s=state.preempted_stall_s,
             )
             self.metrics.add(handle.record)
             finished_ids.append(handle.request_id)

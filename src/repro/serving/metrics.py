@@ -1,4 +1,12 @@
-"""Serving metrics: TTFT, per-token latency, throughput."""
+"""Serving metrics: TTFT, per-token latency, throughput, SLO attainment.
+
+All times are virtual-clock **seconds** (modelled GPU time for the simulated
+backend, measured or modelled time for the real one); all token counts are
+**tokens**.  :class:`RequestRecord` is the per-request timing record emitted
+when a request retires; :class:`ServingMetrics` aggregates them, including
+per-priority-class percentiles and SLO attainment for the scheduling
+benchmarks.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +19,21 @@ __all__ = ["RequestRecord", "ServingMetrics"]
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Timing of one completed request."""
+    """Timing of one completed request.
+
+    Fields (units):
+
+    * ``arrival_time_s`` — virtual clock (s) when the request arrived.
+    * ``prefill_finish_time_s`` — clock (s) when its first token was produced.
+    * ``finish_time_s`` — clock (s) when its last token was produced.
+    * ``prompt_tokens`` / ``generated_tokens`` — lengths (tokens).
+    * ``priority`` — scheduling class (lower = more urgent, 0 = default).
+    * ``preemptions`` — times the request was evicted under KV pressure.
+    * ``preempted_stall_s`` — total seconds spent evicted (preempt to resume,
+      including the recompute itself).
+    * ``scheduled_time_s`` — clock (s) of *first* admission for prefill
+      (``None`` on legacy records that predate preemptive scheduling).
+    """
 
     request_id: str
     arrival_time_s: float
@@ -19,19 +41,31 @@ class RequestRecord:
     finish_time_s: float
     prompt_tokens: int
     generated_tokens: int
+    priority: int = 0
+    preemptions: int = 0
+    scheduled_time_s: float | None = None
+    preempted_stall_s: float = 0.0
 
     @property
     def ttft_s(self) -> float:
-        """Time to first token (queueing + prefill)."""
+        """Time to first token in seconds (queueing + prefill)."""
         return self.prefill_finish_time_s - self.arrival_time_s
 
     @property
+    def queueing_delay_s(self) -> float:
+        """Seconds spent waiting before first admission (0.0 when unrecorded)."""
+        if self.scheduled_time_s is None:
+            return 0.0
+        return self.scheduled_time_s - self.arrival_time_s
+
+    @property
     def decode_time_s(self) -> float:
+        """Seconds between the first and the last generated token."""
         return self.finish_time_s - self.prefill_finish_time_s
 
     @property
     def time_per_output_token_s(self) -> float:
-        """Mean decode latency per output token.
+        """Mean decode latency per output token, in seconds.
 
         The first token arrives with prefill (it is covered by TTFT), so the
         decode phase spans ``generated_tokens - 1`` tokens.
@@ -43,49 +77,124 @@ class RequestRecord:
 
 @dataclass
 class ServingMetrics:
-    """Aggregate statistics over a set of completed requests."""
+    """Aggregate statistics over a set of completed requests.
+
+    Every aggregate accepts an optional ``priority`` filter to slice the
+    records down to one scheduling class (``None`` = all classes).
+    """
 
     records: list[RequestRecord] = field(default_factory=list)
 
     def add(self, record: RequestRecord) -> None:
+        """Append one completed-request record."""
         self.records.append(record)
 
     def __len__(self) -> int:
         return len(self.records)
 
-    def _require_records(self) -> None:
-        if not self.records:
-            raise ValueError("no completed requests recorded")
+    def _select(self, priority: int | None = None) -> list[RequestRecord]:
+        records = (
+            self.records
+            if priority is None
+            else [r for r in self.records if r.priority == priority]
+        )
+        if not records:
+            raise ValueError(
+                "no completed requests recorded"
+                + (f" for priority class {priority}" if priority is not None else "")
+            )
+        return records
 
-    def mean_ttft_s(self) -> float:
-        self._require_records()
-        return float(np.mean([r.ttft_s for r in self.records]))
+    def priority_classes(self) -> list[int]:
+        """Distinct priority classes present, ascending (most urgent first)."""
+        return sorted({r.priority for r in self.records})
 
-    def percentile_ttft_s(self, percentile: float) -> float:
-        self._require_records()
-        return float(np.percentile([r.ttft_s for r in self.records], percentile))
+    def total_preemptions(self, priority: int | None = None) -> int:
+        """Total preemption events across the recorded requests.
 
-    def mean_time_per_output_token_s(self) -> float:
+        Returns 0 when nothing has been recorded yet; like the other
+        per-class aggregates, raises for a ``priority`` class with no records
+        (a typo'd class id should error, not report zero preemptions).
+        """
+        if not self.records and priority is None:
+            return 0
+        return int(sum(r.preemptions for r in self._select(priority)))
+
+    def mean_queueing_delay_s(self, priority: int | None = None) -> float:
+        """Mean seconds spent waiting for first admission."""
+        return float(np.mean([r.queueing_delay_s for r in self._select(priority)]))
+
+    def mean_ttft_s(self, priority: int | None = None) -> float:
+        """Mean time to first token, in seconds."""
+        return float(np.mean([r.ttft_s for r in self._select(priority)]))
+
+    def percentile_ttft_s(self, percentile: float, priority: int | None = None) -> float:
+        """TTFT percentile (e.g. ``percentile=99`` for p99), in seconds."""
+        return float(
+            np.percentile([r.ttft_s for r in self._select(priority)], percentile)
+        )
+
+    def percentile_tpot_s(self, percentile: float, priority: int | None = None) -> float:
+        """Per-output-token latency percentile, in seconds.
+
+        Computed over requests that actually decoded (more than one generated
+        token); returns 0.0 when no request did.
+        """
+        samples = [
+            r.time_per_output_token_s
+            for r in self._select(priority)
+            if r.generated_tokens > 1
+        ]
+        if not samples:
+            return 0.0
+        return float(np.percentile(samples, percentile))
+
+    def mean_time_per_output_token_s(self, priority: int | None = None) -> float:
         """Mean per-token decode latency over requests that actually decoded.
 
         Requests whose only token came from prefill have no decode phase and
         are excluded rather than averaged in as zero.
         """
-        self._require_records()
         samples = [
-            r.time_per_output_token_s for r in self.records if r.generated_tokens > 1
+            r.time_per_output_token_s
+            for r in self._select(priority)
+            if r.generated_tokens > 1
         ]
         if not samples:
             return 0.0
         return float(np.mean(samples))
 
+    def slo_attainment(
+        self,
+        ttft_slo_s: float,
+        tpot_slo_s: float | None = None,
+        priority: int | None = None,
+    ) -> float:
+        """Fraction of requests meeting the latency SLO (0.0–1.0).
+
+        A request attains the SLO when its TTFT is at most ``ttft_slo_s``
+        seconds and (when ``tpot_slo_s`` is given) its mean per-output-token
+        latency is at most ``tpot_slo_s`` seconds.
+        """
+        records = self._select(priority)
+        ok = 0
+        for r in records:
+            if r.ttft_s > ttft_slo_s:
+                continue
+            if tpot_slo_s is not None and r.time_per_output_token_s > tpot_slo_s:
+                continue
+            ok += 1
+        return ok / len(records)
+
     def total_generated_tokens(self) -> int:
+        """Sum of generated tokens across all recorded requests."""
         return int(sum(r.generated_tokens for r in self.records))
 
     def makespan_s(self) -> float:
-        self._require_records()
-        start = min(r.arrival_time_s for r in self.records)
-        end = max(r.finish_time_s for r in self.records)
+        """Seconds from the first arrival to the last finish."""
+        records = self._select()
+        start = min(r.arrival_time_s for r in records)
+        end = max(r.finish_time_s for r in records)
         return end - start
 
     def generation_throughput_tokens_s(self) -> float:

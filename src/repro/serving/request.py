@@ -1,4 +1,16 @@
-"""Request and per-sequence state for the serving engine."""
+"""Request and per-sequence state for the serving engine.
+
+A :class:`Request` is the immutable description of one unit of work (prompt,
+generation budget, arrival time, priority class); a :class:`RequestState` is
+its mutable serving-side lifecycle, which the scheduler moves through
+:class:`RequestStatus`:
+
+``WAITING -> DECODING -> FINISHED`` in the simple case, with a
+``DECODING -> PREEMPTED -> DECODING`` detour every time the scheduler evicts
+the request under KV pressure (recompute-style preemption: the KV cache is
+released and rebuilt on re-admission, see
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`).
+"""
 
 from __future__ import annotations
 
@@ -14,8 +26,8 @@ class RequestStatus(enum.Enum):
     """Lifecycle of a request inside the serving system."""
 
     WAITING = "waiting"
-    PREFILLING = "prefilling"
     DECODING = "decoding"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
 
 
@@ -26,7 +38,10 @@ class Request:
     ``prompt_token_ids`` carries the actual prompt for real-compute backends;
     cost-model backends only need ``prompt_tokens`` (the length), so the ids
     are optional.  ``sampling`` overrides the serving engine's default
-    :class:`SamplingParams` for this request.
+    :class:`SamplingParams` for this request.  ``priority`` is the request's
+    scheduling class — **lower values are more urgent** (0 = interactive
+    default); it is consulted by the ``"priority"`` scheduler policy and
+    carried into per-class :class:`~repro.serving.metrics.ServingMetrics`.
     """
 
     request_id: str
@@ -35,6 +50,7 @@ class Request:
     arrival_time_s: float = 0.0
     prompt_token_ids: tuple[int, ...] | None = None
     sampling: SamplingParams | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0:
@@ -43,6 +59,8 @@ class Request:
             raise ValueError("max_new_tokens must be positive")
         if self.arrival_time_s < 0:
             raise ValueError("arrival_time_s must be non-negative")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative (0 = most urgent)")
         if self.prompt_token_ids is not None:
             ids = tuple(int(t) for t in self.prompt_token_ids)
             if len(ids) != self.prompt_tokens:
@@ -60,6 +78,7 @@ class Request:
         max_new_tokens: int,
         arrival_time_s: float = 0.0,
         sampling: SamplingParams | None = None,
+        priority: int = 0,
     ) -> "Request":
         """Build a request straight from a prompt token sequence."""
         ids = tuple(int(t) for t in token_ids)
@@ -70,43 +89,101 @@ class Request:
             arrival_time_s=arrival_time_s,
             prompt_token_ids=ids,
             sampling=sampling,
+            priority=priority,
         )
 
 
 @dataclass
 class RequestState:
-    """Mutable serving state of one request."""
+    """Mutable serving state of one request.
+
+    ``submit_seq`` is the scheduler's monotonically increasing submission
+    number (assigned on first enqueue) used for FCFS ordering and tie-breaks;
+    it is preserved across preemptions so a preempted request keeps its place
+    relative to later arrivals.  ``preemptions`` counts how many times this
+    request was evicted under KV pressure and ``preempted_stall_s`` the total
+    virtual seconds it spent evicted (preempt to resume).  ``scheduled_time_s``
+    is the virtual clock (seconds) at which the request was *first* admitted
+    for prefill — ``scheduled_time_s - request.arrival_time_s`` is the
+    queueing delay.
+    """
 
     request: Request
     status: RequestStatus = RequestStatus.WAITING
     generated_tokens: int = 0
     prefill_finish_time_s: float | None = None
     finish_time_s: float | None = None
+    scheduled_time_s: float | None = None
+    submit_seq: int | None = None
+    preemptions: int = 0
+    preempted_stall_s: float = 0.0
+    last_preempt_time_s: float | None = None
 
     @property
     def context_length(self) -> int:
-        """Tokens currently held in the KV cache for this request."""
-        if self.status is RequestStatus.WAITING:
+        """Tokens currently materialised in the KV cache for this request.
+
+        ``0`` while the request is waiting or preempted (a preempted request's
+        KV pages were released; they are rebuilt on re-admission).
+        """
+        if self.status in (RequestStatus.WAITING, RequestStatus.PREEMPTED):
             return 0
         return self.request.prompt_tokens + self.generated_tokens
 
     @property
+    def resume_kv_tokens(self) -> int:
+        """KV tokens (re-)admission will materialise: prompt + generated so far."""
+        return self.request.prompt_tokens + self.generated_tokens
+
+    @property
     def is_finished(self) -> bool:
+        """Whether the request has produced its last token."""
         return self.status is RequestStatus.FINISHED
 
+    def record_scheduled(self, now_s: float) -> None:
+        """Stamp the first admission time (idempotent across preemptions)."""
+        if self.scheduled_time_s is None:
+            self.scheduled_time_s = now_s
+
     def record_prefill(self, now_s: float) -> None:
+        """Transition ``WAITING -> DECODING`` once the prompt has been prefilled."""
         if self.status is not RequestStatus.WAITING:
             raise ValueError(f"cannot prefill request in status {self.status}")
         self.status = RequestStatus.DECODING
         self.prefill_finish_time_s = now_s
 
     def record_decode_token(self, now_s: float) -> None:
+        """Account one generated token; finishes when the budget is exhausted."""
         if self.status is not RequestStatus.DECODING:
             raise ValueError(f"cannot decode request in status {self.status}")
         self.generated_tokens += 1
         if self.generated_tokens >= self.request.max_new_tokens:
             self.status = RequestStatus.FINISHED
             self.finish_time_s = now_s
+
+    def record_preempt(self, now_s: float) -> None:
+        """Transition ``DECODING -> PREEMPTED`` (KV released, back to the queue).
+
+        Generated tokens are kept — on re-admission the engine re-prefills the
+        prompt and replays them so generation continues byte-identically.
+        """
+        if self.status is not RequestStatus.DECODING:
+            raise ValueError(f"cannot preempt request in status {self.status}")
+        self.status = RequestStatus.PREEMPTED
+        self.preemptions += 1
+        self.last_preempt_time_s = now_s
+
+    def record_resume(self, now_s: float) -> None:
+        """Transition ``PREEMPTED -> DECODING`` after recompute (re-prefill + replay).
+
+        Accumulates the evicted interval into ``preempted_stall_s``.
+        """
+        if self.status is not RequestStatus.PREEMPTED:
+            raise ValueError(f"cannot resume request in status {self.status}")
+        self.status = RequestStatus.DECODING
+        if self.last_preempt_time_s is not None:
+            self.preempted_stall_s += now_s - self.last_preempt_time_s
+            self.last_preempt_time_s = None
 
     def mark_finished(self, now_s: float) -> None:
         """Terminate generation early (EOS / stop token) before the budget."""

@@ -52,13 +52,16 @@ class SamplingParams:
 
     @property
     def is_greedy(self) -> bool:
+        """Whether decoding is deterministic argmax (``temperature == 0``)."""
         return self.temperature == 0.0
 
     def is_stop(self, token_id: int) -> bool:
+        """Whether ``token_id`` terminates generation for this request."""
         return int(token_id) in self.stop_token_ids
 
     @classmethod
     def greedy(cls, stop_token_ids: tuple[int, ...] = ()) -> "SamplingParams":
+        """Greedy-decoding parameters with optional stop tokens."""
         return cls(temperature=0.0, stop_token_ids=stop_token_ids)
 
 

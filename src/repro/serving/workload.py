@@ -1,0 +1,301 @@
+"""Trace-driven workload generation: arrival processes and scenario presets.
+
+The load generator turns a :class:`WorkloadSpec` — an arrival process plus a
+mixture of :class:`RequestClass` length/priority profiles — into a seeded,
+reproducible list of :class:`~repro.serving.request.Request` objects ready to
+feed :meth:`~repro.serving.engine.ServingEngine.run`.
+
+Arrival processes:
+
+* ``"poisson"`` — exponential inter-arrival times at ``arrival_rate_rps``.
+* ``"bursty"`` — a hyperexponential process: each gap is drawn from a fast
+  rate (``arrival_rate_rps * burst_rate_multiplier``) with probability
+  ``burst_probability`` and a compensating slow rate otherwise, so the mean
+  rate stays ``arrival_rate_rps`` while arrivals cluster into bursts.
+
+Prompt and output lengths are lognormal (median/σ parameterisation) clipped
+to ``[min, max]`` — the heavy right tail matches observed LLM serving traces.
+
+Three presets live in :data:`SCENARIOS`: ``"chat"`` (short interactive
+turns), ``"long_document_qa"`` (the paper's long-context regime: 16K–128K
+prompts, short answers, bursty arrivals), and ``"mixed_agentic"``
+(interactive traffic plus background agent jobs in two priority classes).
+Use :func:`scenario` to fetch one and :func:`dataclasses.replace` to vary it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import Request
+
+__all__ = [
+    "RequestClass",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "SCENARIOS",
+    "scenario",
+]
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One request profile inside a workload mixture.
+
+    ``weight`` is the class's relative share of arrivals.  ``priority`` is
+    the scheduling class stamped on generated requests (lower = more urgent).
+    Prompt and output lengths are lognormal with the given median and sigma
+    (in log space), clipped to ``[min, max]`` tokens.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    prompt_median: int = 512
+    prompt_sigma: float = 0.6
+    prompt_min: int = 16
+    prompt_max: int = 8_192
+    output_median: int = 128
+    output_sigma: float = 0.5
+    output_min: int = 4
+    output_max: int = 1_024
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"class {self.name!r}: weight must be positive")
+        for label, lo, mid, hi in (
+            ("prompt", self.prompt_min, self.prompt_median, self.prompt_max),
+            ("output", self.output_min, self.output_median, self.output_max),
+        ):
+            if not (0 < lo <= mid <= hi):
+                raise ValueError(
+                    f"class {self.name!r}: need 0 < {label}_min <= {label}_median "
+                    f"<= {label}_max, got ({lo}, {mid}, {hi})"
+                )
+
+    def max_kv_tokens(self) -> int:
+        """Worst-case KV footprint of one request of this class (tokens)."""
+        return self.prompt_max + self.output_max
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete workload: arrival process + request-class mixture + SLOs.
+
+    ``arrival_rate_rps`` is the mean arrival rate in requests per second.
+    ``ttft_slo_s`` / ``tpot_slo_s`` are the scenario's latency objectives
+    (seconds), consumed by :meth:`ServingMetrics.slo_attainment` and the
+    ``bench_serving_slo`` sweep.
+    """
+
+    name: str
+    classes: tuple[RequestClass, ...]
+    arrival_process: str = "poisson"  # "poisson" | "bursty"
+    arrival_rate_rps: float = 1.0
+    burst_rate_multiplier: float = 8.0
+    burst_probability: float = 0.15
+    ttft_slo_s: float = 10.0
+    tpot_slo_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a workload needs at least one request class")
+        if self.arrival_process not in ("poisson", "bursty"):
+            raise ValueError(
+                f"unknown arrival_process {self.arrival_process!r}; "
+                "expected 'poisson' or 'bursty'"
+            )
+        if self.arrival_rate_rps <= 0:
+            raise ValueError("arrival_rate_rps must be positive")
+        if self.burst_rate_multiplier <= 1.0:
+            raise ValueError("burst_rate_multiplier must be > 1")
+        if not (0.0 < self.burst_probability < 1.0):
+            raise ValueError("burst_probability must be in (0, 1)")
+
+    def max_kv_tokens(self) -> int:
+        """Worst-case KV footprint of any request this workload can emit."""
+        return max(c.max_kv_tokens() for c in self.classes)
+
+
+class WorkloadGenerator:
+    """Seeded generator of request traces from a :class:`WorkloadSpec`.
+
+    The same ``(spec, seed)`` pair always yields the same trace, so serving
+    experiments are reproducible end to end.  With ``with_token_ids=True``
+    the requests carry synthetic prompt token ids (required by real-compute
+    backends); length-only requests are enough for the cost-model backend.
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    def generate(
+        self,
+        n_requests: int,
+        start_time_s: float = 0.0,
+        with_token_ids: bool = False,
+        vocab_size: int = 32_000,
+        id_prefix: str | None = None,
+    ) -> list[Request]:
+        """Draw ``n_requests`` requests with seeded arrivals, lengths, classes."""
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        # Trace structure (arrivals, classes, lengths) and token content draw
+        # from independent child streams of the same seed, so the *same*
+        # (spec, seed) trace is produced whether or not token ids are attached
+        # (length-only cost-model runs stay comparable to real-backend runs).
+        trace_seq, content_seq = np.random.SeedSequence(self.seed).spawn(2)
+        rng = np.random.default_rng(trace_seq)
+        content_rng = np.random.default_rng(content_seq)
+        spec = self.spec
+        prefix = id_prefix if id_prefix is not None else spec.name
+
+        arrivals = start_time_s + np.cumsum(self._inter_arrivals(rng, n_requests))
+        weights = np.array([c.weight for c in spec.classes], dtype=np.float64)
+        class_idx = rng.choice(len(spec.classes), size=n_requests, p=weights / weights.sum())
+
+        requests = []
+        for i in range(n_requests):
+            cls = spec.classes[class_idx[i]]
+            prompt = self._lognormal_length(
+                rng, cls.prompt_median, cls.prompt_sigma, cls.prompt_min, cls.prompt_max
+            )
+            output = self._lognormal_length(
+                rng, cls.output_median, cls.output_sigma, cls.output_min, cls.output_max
+            )
+            token_ids = (
+                tuple(int(t) for t in content_rng.integers(0, vocab_size, size=prompt))
+                if with_token_ids
+                else None
+            )
+            requests.append(
+                Request(
+                    request_id=f"{prefix}-{i}",
+                    prompt_tokens=prompt,
+                    max_new_tokens=output,
+                    arrival_time_s=float(arrivals[i]),
+                    prompt_token_ids=token_ids,
+                    priority=cls.priority,
+                )
+            )
+        return requests
+
+    def _inter_arrivals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        spec = self.spec
+        if spec.arrival_process == "poisson":
+            return rng.exponential(1.0 / spec.arrival_rate_rps, size=n)
+        # Hyperexponential burst model: fast gaps with probability p, slow gaps
+        # otherwise, with the slow rate chosen so the mean rate stays put.
+        p = spec.burst_probability
+        fast_rate = spec.arrival_rate_rps * spec.burst_rate_multiplier
+        slow_rate = (1.0 - p) / (1.0 / spec.arrival_rate_rps - p / fast_rate)
+        in_burst = rng.random(n) < p
+        gaps = np.where(
+            in_burst,
+            rng.exponential(1.0 / fast_rate, size=n),
+            rng.exponential(1.0 / slow_rate, size=n),
+        )
+        return gaps
+
+    @staticmethod
+    def _lognormal_length(
+        rng: np.random.Generator, median: int, sigma: float, lo: int, hi: int
+    ) -> int:
+        value = rng.lognormal(mean=float(np.log(median)), sigma=sigma)
+        return int(np.clip(round(value), lo, hi))
+
+
+#: Scenario presets covering the serving regimes the paper cares about.
+SCENARIOS: dict[str, WorkloadSpec] = {
+    "chat": WorkloadSpec(
+        name="chat",
+        arrival_process="poisson",
+        arrival_rate_rps=4.0,
+        ttft_slo_s=2.0,
+        tpot_slo_s=0.08,
+        classes=(
+            RequestClass(
+                name="chat-turn",
+                prompt_median=768,
+                prompt_sigma=0.8,
+                prompt_min=32,
+                prompt_max=8_192,
+                output_median=192,
+                output_sigma=0.6,
+                output_min=8,
+                output_max=1_024,
+            ),
+        ),
+    ),
+    "long_document_qa": WorkloadSpec(
+        name="long_document_qa",
+        arrival_process="bursty",
+        arrival_rate_rps=0.25,
+        burst_rate_multiplier=8.0,
+        burst_probability=0.2,
+        ttft_slo_s=60.0,
+        tpot_slo_s=0.25,
+        classes=(
+            RequestClass(
+                name="doc-qa",
+                prompt_median=49_152,
+                prompt_sigma=0.5,
+                prompt_min=16_384,
+                prompt_max=131_072,
+                output_median=96,
+                output_sigma=0.5,
+                output_min=16,
+                output_max=512,
+            ),
+        ),
+    ),
+    "mixed_agentic": WorkloadSpec(
+        name="mixed_agentic",
+        arrival_process="bursty",
+        arrival_rate_rps=2.0,
+        burst_rate_multiplier=6.0,
+        burst_probability=0.25,
+        ttft_slo_s=5.0,
+        tpot_slo_s=0.1,
+        classes=(
+            RequestClass(
+                name="interactive",
+                weight=3.0,
+                priority=0,
+                prompt_median=1_024,
+                prompt_sigma=0.7,
+                prompt_min=64,
+                prompt_max=16_384,
+                output_median=160,
+                output_sigma=0.6,
+                output_min=8,
+                output_max=1_024,
+            ),
+            RequestClass(
+                name="agent-background",
+                weight=1.0,
+                priority=1,
+                prompt_median=24_576,
+                prompt_sigma=0.6,
+                prompt_min=4_096,
+                prompt_max=98_304,
+                output_median=768,
+                output_sigma=0.5,
+                output_min=64,
+                output_max=2_048,
+            ),
+        ),
+    ),
+}
+
+
+def scenario(name: str) -> WorkloadSpec:
+    """Fetch a scenario preset by name (see :data:`SCENARIOS`)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known scenarios: {known}") from None

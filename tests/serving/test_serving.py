@@ -91,35 +91,58 @@ class TestScheduler:
         assert sched.schedule_prefill() is None
         assert len(sched.waiting) == 1
 
-    def test_kv_capacity_admission_control(self):
-        sched = self.make(max_batch_size=8, kv_token_capacity=230)
+    def test_kv_watermark_admission_control(self):
+        """Admission is best-effort against the high watermark: materialised KV
+        plus the candidate's prompt must stay under kv_high_watermark (the
+        generation budget is no longer reserved up front)."""
+        sched = self.make(max_batch_size=8, kv_token_capacity=230,
+                          kv_high_watermark=210, kv_low_watermark=100)
         sched.submit(Request("big", prompt_tokens=200, max_new_tokens=10))
         sched.submit(Request("small", prompt_tokens=20, max_new_tokens=10))
         admitted = sched.schedule_prefill()
         assert admitted.request.request_id == "big"
-        # The second request does not fit until the first finishes (FCFS, no skipping).
+        admitted.record_prefill(0.0)  # 200 KV tokens materialised
+        # 200 + 20 > 210: the second request is blocked (FCFS, no skipping).
         assert sched.schedule_prefill() is None
 
+    def test_oversized_request_rejected_at_scheduler_submit(self):
+        """The capacity-safety bound is enforced by the scheduler itself, not
+        just by the ServingEngine wrapper."""
+        sched = self.make(max_batch_size=8, kv_token_capacity=100)
+        with pytest.raises(ValueError, match="never be admitted"):
+            sched.submit(Request("big", prompt_tokens=200, max_new_tokens=10))
+        assert not sched.has_work
+
+    def test_empty_pool_admission_is_unconditional(self):
+        """Anything that passed the submit-time capacity check can run alone,
+        even when its prompt alone exceeds the high watermark."""
+        sched = self.make(max_batch_size=8, kv_token_capacity=300,
+                          kv_high_watermark=100, kv_low_watermark=50)
+        sched.submit(Request("huge", prompt_tokens=250, max_new_tokens=10))
+        assert sched.schedule_prefill().request.request_id == "huge"
+
     def test_admission_order_preserved_under_kv_backpressure(self):
-        """Regression: requests blocked by KV capacity must be admitted in the
-        exact order they were submitted once capacity frees up."""
-        sched = self.make(max_batch_size=8, kv_token_capacity=250)
+        """Regression: requests blocked by KV back-pressure must be admitted in
+        the exact order they were submitted once capacity frees up."""
+        sched = self.make(max_batch_size=8, kv_token_capacity=250,
+                          kv_high_watermark=225, kv_low_watermark=100)
         sched.submit(Request("head", prompt_tokens=200, max_new_tokens=10))
         for i in range(4):
             sched.submit(Request(f"q{i}", prompt_tokens=40, max_new_tokens=10))
         head = sched.schedule_prefill()
         assert head.request.request_id == "head"
+        head.record_prefill(0.0)
         # Everything else is blocked behind the big head-of-line request.
         assert sched.schedule_prefill() is None
         assert [s.request.request_id for s in sched.waiting] == ["q0", "q1", "q2", "q3"]
         # Finish the head request; the queue must drain strictly FCFS.
-        head.record_prefill(0.0)
         for _ in range(10):
             head.record_decode_token(1.0)
         sched.retire_finished()
         admitted = []
         while (state := sched.schedule_prefill()) is not None:
             admitted.append(state.request.request_id)
+            state.record_prefill(1.0)
         assert admitted == ["q0", "q1", "q2", "q3"]
 
     def test_retire_frees_capacity(self):
@@ -146,6 +169,40 @@ class TestScheduler:
             SchedulerConfig(max_batch_size=0)
         with pytest.raises(ValueError):
             SchedulerConfig(kv_token_capacity=0)
+
+    def test_watermark_defaults_satisfy_invariant(self):
+        cfg = SchedulerConfig(kv_token_capacity=1_000)
+        assert 0 <= cfg.kv_low_watermark < cfg.kv_high_watermark <= 1_000
+        tiny = SchedulerConfig(kv_token_capacity=1)
+        assert (tiny.kv_low_watermark, tiny.kv_high_watermark) == (0, 1)
+
+    def test_watermark_invariant_error_messages(self):
+        """The low < high <= capacity invariant is validated with messages that
+        name the offending values."""
+        with pytest.raises(
+            ValueError,
+            match=r"kv_low_watermark \(90\) must be strictly below kv_high_watermark \(90\)",
+        ):
+            SchedulerConfig(
+                kv_token_capacity=100, kv_high_watermark=90, kv_low_watermark=90
+            )
+        with pytest.raises(
+            ValueError,
+            match=r"kv_high_watermark \(150\) must not exceed kv_token_capacity \(100\)",
+        ):
+            SchedulerConfig(
+                kv_token_capacity=100, kv_high_watermark=150, kv_low_watermark=50
+            )
+        with pytest.raises(ValueError, match=r"kv_low_watermark \(-1\) must be non-negative"):
+            SchedulerConfig(
+                kv_token_capacity=100, kv_high_watermark=90, kv_low_watermark=-1
+            )
+        with pytest.raises(ValueError, match=r"kv_high_watermark \(0\) must be positive"):
+            SchedulerConfig(kv_token_capacity=100, kv_high_watermark=0)
+
+    def test_unknown_policy_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy 'round-robin'"):
+            SchedulerConfig(policy="round-robin")
 
 
 class TestMetrics:
