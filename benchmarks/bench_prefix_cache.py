@@ -1,0 +1,306 @@
+"""Share-ratio x arrival-rate sweep of the prefix-sharing KV cache.
+
+For each (share_ratio, arrival_rate) cell a seeded shared-prefix trace is
+served twice — prefix cache ON vs OFF — on both backends:
+
+* the **real** ``LServeBackend`` (tiny model, aligned 16-bit config so
+  prefix attach is byte-exact; modelled GPU time for a deterministic clock):
+  reports the reduction in *computed* prefill tokens and TTFT, verifies the
+  output token ids are **byte-identical** with and without sharing, and
+  checks the allocator for page leaks after full churn (every sequence
+  released, index cleared);
+* the **simulated** backend (LLaMA-3-8B cost model with the prefix-cache
+  cost model, ``prefix_block_tokens``): the same sweep at paper-scale prompt
+  lengths in virtual time.
+
+Each cell serves one warm-up request (the first of the trace) before the
+measured window, so the reported reduction is the steady-state hit rate —
+at share ratio 0.5 the computed prefill work halves (>= 2x reduction).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_prefix_cache.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_prefix_cache.py --smoke    # CI smoke
+
+The JSON report is written to ``benchmarks/results/BENCH_prefix_cache.json``
+(override with ``--output``); CI uploads it as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.systems import lserve_policy
+from repro.core.config import LServeConfig
+from repro.core.engine import LServeEngine
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B, tiny_model_config
+from repro.model.transformer import TinyTransformer
+from repro.serving import (
+    LServeBackend,
+    RequestClass,
+    SchedulerConfig,
+    ServingEngine,
+    SimulatedBackend,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_prefix_cache.json"
+
+#: Real-backend geometry: aligned attach boundaries, exact 16-bit KV.
+REAL_PAGE = 16
+REAL_PROMPT_TOKENS = 256
+SIM_BLOCK = 64
+SIM_PROMPT_TOKENS = 32_768
+
+
+def build_spec(
+    share_ratio: float, arrival_rate: float, prompt_tokens: int, align: int
+) -> tuple[WorkloadSpec, int]:
+    """One-class shared-prefix workload; returns (spec, aligned prefix size)."""
+    prefix = int(share_ratio * prompt_tokens) // align * align
+    cls = RequestClass(
+        name=f"share-{share_ratio:g}",
+        shared_prefix_tokens=prefix,
+        shared_prefix_pool=1,
+        prompt_median=prompt_tokens,
+        prompt_sigma=0.01,  # near-constant lengths: the share ratio stays exact
+        prompt_min=prompt_tokens,
+        prompt_max=prompt_tokens,
+        output_median=8,
+        output_sigma=0.01,
+        output_min=8,
+        output_max=8,
+    )
+    spec = WorkloadSpec(
+        name=f"prefix-share-{share_ratio:g}",
+        classes=(cls,),
+        arrival_process="poisson",
+        arrival_rate_rps=arrival_rate,
+    )
+    return spec, prefix
+
+
+def serve_with_warmup(serving: ServingEngine, requests):
+    """Serve ``requests[0]`` as warm-up, then the rest as the measured window.
+
+    Returns (steady-state work deltas dict, outputs for every request id).
+    """
+    warm, rest = requests[0], requests[1:]
+    serving.submit(dataclasses.replace(warm, arrival_time_s=0.0))
+    serving.run_until_complete()
+    work = serving.backend.work
+    snapshot = (work.prefill_tokens, work.prefix_hit_tokens, work.prefill_time_s)
+    base_clock = serving.clock_s
+    first_arrival = rest[0].arrival_time_s
+    for request in rest:
+        serving.submit(
+            dataclasses.replace(
+                request,
+                arrival_time_s=base_clock + request.arrival_time_s - first_arrival,
+            )
+        )
+    serving.run_until_complete()
+    measured_ids = [r.request_id for r in rest]
+    ttfts = [r.ttft_s for r in serving.metrics.records if r.request_id in set(measured_ids)]
+    outputs = {
+        r.request_id: list(serving.handle(r.request_id).output_tokens) for r in requests
+    }
+    return {
+        "prefill_tokens": work.prefill_tokens - snapshot[0],
+        "prefix_hit_tokens": work.prefix_hit_tokens - snapshot[1],
+        "prefill_time_s": work.prefill_time_s - snapshot[2],
+        "mean_ttft_s": float(np.mean(ttfts)),
+    }, outputs
+
+
+def make_real_backend(prefix_cache: bool, model, latency) -> LServeBackend:
+    engine = LServeEngine(
+        model,
+        LServeConfig(
+            streaming_head_ratio=0.5,
+            dynamic_sparsity_enabled=True,
+            kv_bits=16,
+            physical_page_size=REAL_PAGE,
+            logical_page_size=4,
+            sink_tokens=16,
+            local_tokens=32,
+            q_block_size=REAL_PAGE,
+            token_budget=64,
+            prefix_cache_enabled=prefix_cache,
+        ),
+        streaming_kv_heads=np.array([False, True]),
+        num_cache_pages=2_048,
+    )
+    return LServeBackend(engine, latency=latency)
+
+
+def run_real_cell(share: float, rate: float, n: int, seed: int, model, latency) -> dict:
+    """One real-backend cell: cached vs uncached runs of the same trace."""
+    spec, prefix = build_spec(share, rate, REAL_PROMPT_TOKENS, REAL_PAGE)
+    requests = WorkloadGenerator(spec, seed=seed).generate(
+        n + 1, with_token_ids=True, vocab_size=model.config.vocab_size
+    )
+    results = {}
+    outputs = {}
+    leaked = None
+    for label, cached in (("cached", True), ("plain", False)):
+        backend = make_real_backend(cached, model, latency)
+        serving = ServingEngine(
+            backend, SchedulerConfig(max_batch_size=4, kv_token_capacity=1 << 20)
+        )
+        results[label], outputs[label] = serve_with_warmup(serving, requests)
+        if cached:
+            # Full-churn leak check: every sequence has been released by the
+            # serving engine, so after dropping the index's references too,
+            # any page still allocated is a leak.
+            alloc = backend.engine.cache.dense_cache.allocator
+            backend.engine.prefix_cache.clear()
+            leaked = alloc.num_allocated
+    reduction = results["plain"]["prefill_tokens"] / max(1, results["cached"]["prefill_tokens"])
+    ttft_speedup = results["plain"]["mean_ttft_s"] / max(
+        1e-12, results["cached"]["mean_ttft_s"]
+    )
+    return {
+        "backend": "lserve",
+        "share_ratio": share,
+        "effective_share_ratio": prefix / REAL_PROMPT_TOKENS,
+        "arrival_rate_rps": rate,
+        "requests": n,
+        "prompt_tokens": REAL_PROMPT_TOKENS,
+        "computed_prefill_tokens_cached": results["cached"]["prefill_tokens"],
+        "computed_prefill_tokens_plain": results["plain"]["prefill_tokens"],
+        "prefix_hit_tokens": results["cached"]["prefix_hit_tokens"],
+        "prefill_reduction_x": reduction,
+        "mean_ttft_cached_s": results["cached"]["mean_ttft_s"],
+        "mean_ttft_plain_s": results["plain"]["mean_ttft_s"],
+        "ttft_speedup_x": ttft_speedup,
+        "byte_identical_outputs": outputs["cached"] == outputs["plain"],
+        "leaked_pages": leaked,
+    }
+
+
+def run_sim_cell(share: float, rate: float, n: int, seed: int, latency) -> dict:
+    """One cost-model cell at paper-scale prompt lengths (virtual time)."""
+    spec, prefix = build_spec(share, rate, SIM_PROMPT_TOKENS, SIM_BLOCK)
+    requests = WorkloadGenerator(spec, seed=seed).generate(n + 1, with_token_ids=True)
+    results = {}
+    for label, block in (("cached", SIM_BLOCK), ("plain", None)):
+        backend = SimulatedBackend(latency, prefix_block_tokens=block)
+        serving = ServingEngine(
+            backend, SchedulerConfig(max_batch_size=8, kv_token_capacity=1 << 22)
+        )
+        results[label], _ = serve_with_warmup(serving, requests)
+    reduction = results["plain"]["prefill_tokens"] / max(1, results["cached"]["prefill_tokens"])
+    return {
+        "backend": "simulated",
+        "share_ratio": share,
+        "effective_share_ratio": prefix / SIM_PROMPT_TOKENS,
+        "arrival_rate_rps": rate,
+        "requests": n,
+        "prompt_tokens": SIM_PROMPT_TOKENS,
+        "computed_prefill_tokens_cached": results["cached"]["prefill_tokens"],
+        "computed_prefill_tokens_plain": results["plain"]["prefill_tokens"],
+        "prefix_hit_tokens": results["cached"]["prefix_hit_tokens"],
+        "prefill_reduction_x": reduction,
+        "mean_ttft_cached_s": results["cached"]["mean_ttft_s"],
+        "mean_ttft_plain_s": results["plain"]["mean_ttft_s"],
+        "ttft_speedup_x": results["plain"]["mean_ttft_s"]
+        / max(1e-12, results["cached"]["mean_ttft_s"]),
+    }
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render the sweep as an aligned text table."""
+    header = (
+        f"{'backend':<11}{'share':>7}{'rate':>7}{'prefill tok':>13}{'hits':>9}"
+        f"{'reduce':>8}{'TTFT x':>8}{'ident':>7}{'leaks':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        ident = {True: "yes", False: "NO"}.get(r.get("byte_identical_outputs"), "-")
+        leaks = r.get("leaked_pages")
+        lines.append(
+            f"{r['backend']:<11}{r['effective_share_ratio']:>7.2f}"
+            f"{r['arrival_rate_rps']:>7.2g}{r['computed_prefill_tokens_cached']:>13d}"
+            f"{r['prefix_hit_tokens']:>9d}{r['prefill_reduction_x']:>7.2f}x"
+            f"{r['ttft_speedup_x']:>7.2f}x{ident:>7}{('-' if leaks is None else str(leaks)):>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Run the sweep and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI-sized sweep"
+    )
+    parser.add_argument(
+        "--shares", default=None, help="comma-separated share ratios (0..1)"
+    )
+    parser.add_argument(
+        "--rates", default=None, help="comma-separated arrival rates (requests/s)"
+    )
+    parser.add_argument("--n", type=int, default=None, help="measured requests per cell")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        shares, rates, n_real, n_sim = [0.5, 0.875], [4.0], 6, 8
+    else:
+        shares, rates, n_real, n_sim = [0.0, 0.25, 0.5, 0.75, 0.875], [1.0, 4.0], 12, 24
+    if args.shares:
+        shares = [float(s) for s in args.shares.split(",")]
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+    if args.n:
+        n_real = n_sim = args.n
+
+    model = TinyTransformer(tiny_model_config(), seed=11)
+    latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+    rows = []
+    for share in shares:
+        for rate in rates:
+            rows.append(run_real_cell(share, rate, n_real, args.seed, model, latency))
+            rows.append(run_sim_cell(share, rate, n_sim, args.seed, latency))
+
+    print(format_table(rows))
+    checks = {
+        "byte_identical_all": all(
+            r["byte_identical_outputs"] for r in rows if "byte_identical_outputs" in r
+        ),
+        "zero_leaked_pages": all(
+            r["leaked_pages"] == 0 for r in rows if r.get("leaked_pages") is not None
+        ),
+        "reduction_at_half_share_ge_2x": all(
+            r["prefill_reduction_x"] >= 2.0
+            for r in rows
+            if r["effective_share_ratio"] >= 0.5
+        ),
+    }
+    for name, ok in checks.items():
+        print(f"[{'ok' if ok else 'FAIL'}] {name}")
+    report = {
+        "benchmark": "prefix_cache",
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        "checks": checks,
+        "results": rows,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\n[saved to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,7 @@ from repro.core.unified_sparse_attention import (
     prefill_sparse_attention,
     decode_group_attention,
 )
-from repro.core.engine import LServeEngine, EngineStats
+from repro.core.engine import DecodeOutOfPagesError, LServeEngine, EngineStats
 
 __all__ = [
     "LServeConfig",
@@ -61,4 +61,5 @@ __all__ = [
     "decode_group_attention",
     "LServeEngine",
     "EngineStats",
+    "DecodeOutOfPagesError",
 ]

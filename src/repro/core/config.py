@@ -10,6 +10,7 @@ setup (§4.2, §5.3): 50% streaming heads, 4096-token budget, physical pages of
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.kvcache.quantization import SUPPORTED_BITS
@@ -38,6 +39,9 @@ class LServeConfig:
 
     # -- prefill kernel tile size (TQ) --
     q_block_size: int = 64
+
+    # -- prefix sharing (RadixAttention-style token-block index) --
+    prefix_cache_enabled: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.streaming_head_ratio <= 1.0:
@@ -74,6 +78,19 @@ class LServeConfig:
     def local_pages(self) -> int:
         """Number of trailing physical pages always retained for dense heads."""
         return max(1, -(-self.local_tokens // self.physical_page_size))
+
+    @property
+    def prefix_match_alignment(self) -> int:
+        """Token alignment of prefix-cache attach boundaries.
+
+        A match boundary must be a multiple of the physical page size (pages
+        are shared whole) *and* of the prefill tile size, so the continuation
+        chunk tiles the sparse masks at the same boundaries as a single-shot
+        prefill would and the numerics stay comparable (see
+        :meth:`LServeEngine.prefill`).
+        """
+        page, q = self.physical_page_size, self.q_block_size
+        return page * q // math.gcd(page, q)
 
     @property
     def budget_pages(self) -> int:

@@ -33,14 +33,37 @@ from repro.core.unified_sparse_attention import (
     decode_group_attention,
     prefill_sparse_attention,
 )
+from repro.kvcache.allocator import OutOfPagesError
 from repro.kvcache.dual_cache import DualPagedKVCache
 from repro.kvcache.paged_cache import PagedCacheConfig
+from repro.kvcache.prefix_index import PrefixIndex
 from repro.model.transformer import TinyTransformer, rms_norm, silu
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving wraps the engine)
     from repro.serving.sampling import SamplingParams
 
-__all__ = ["EngineStats", "LServeEngine"]
+__all__ = ["DecodeOutOfPagesError", "EngineStats", "LServeEngine"]
+
+
+class DecodeOutOfPagesError(OutOfPagesError):
+    """A decode iteration could not reserve KV pages for some sequences.
+
+    Raised by :meth:`LServeEngine.decode_batch` *before any KV data or token
+    accounting is written*: the step's pages are reserved per sequence up
+    front, so an exhausted pool surfaces as a clean per-sequence failure
+    (``failed_seq_ids``) the scheduler can preempt on — never as a
+    mid-batch, mid-layer corruption where some sequences already appended
+    their token and others did not.  (Sequences that reserved successfully
+    before the failure keep their pre-allocated pages; they hold no tokens
+    and are consumed by the next append or returned at release.)
+    """
+
+    def __init__(self, failed_seq_ids: list[object], num_free: int) -> None:
+        self.failed_seq_ids = tuple(failed_seq_ids)
+        super().__init__(
+            f"cannot reserve decode pages for sequences {self.failed_seq_ids!r}: "
+            f"{num_free} pages free"
+        )
 
 
 @dataclass
@@ -54,6 +77,10 @@ class EngineStats:
     dense_tokens_attended: int = 0
     dense_tokens_total: int = 0
     streaming_tokens_attended: int = 0
+    #: Prompt tokens whose KV was attached from the prefix cache instead of
+    #: being recomputed.  ``prefill_tokens`` counts *computed* tokens, so
+    #: ``prefill_tokens + prefix_hit_tokens`` is the total prompt volume seen.
+    prefix_hit_tokens: int = 0
 
     @property
     def prefill_block_sparsity(self) -> float:
@@ -114,7 +141,19 @@ class LServeEngine:
             streaming_head_mask=streaming_kv_heads,
             sink_tokens=config.sink_tokens,
             local_tokens=config.local_tokens,
+            # The prefix index must rebuild streaming stores at arbitrary
+            # page boundaries, so prefix-caching engines retain the
+            # streaming-head history of every sequence.
+            retain_streaming_pages=config.prefix_cache_enabled
+            and bool(streaming_kv_heads.any()),
         )
+        self.prefix_cache: PrefixIndex | None = None
+        if config.prefix_cache_enabled:
+            dense = self.cache.dense_cache
+            self.prefix_cache = PrefixIndex(
+                page_size=config.physical_page_size,
+                allocator=dense.allocator if dense is not None else None,
+            )
         self.selector = ReusablePageSelector(
             PageSelector(
                 HierarchicalPagingConfig(
@@ -166,6 +205,17 @@ class LServeEngine:
         """Register an empty sequence in the paged KV cache."""
         self.cache.add_sequence(seq_id)
 
+    def fork_sequence(self, parent_id: object, child_id: object) -> None:
+        """Fork ``child_id`` from ``parent_id`` with copy-on-write KV sharing.
+
+        Full dense-head pages are shared by reference; the partially filled
+        tail page is copied the first time either sequence appends a
+        divergent token.  The child starts with no cached page selections, so
+        its decode path behaves exactly like a fresh sequence that had
+        produced the same history.
+        """
+        self.cache.fork_sequence(parent_id, child_id)
+
     def release(self, seq_id: object) -> None:
         """Free one sequence's KV pages and its cached page selections.
 
@@ -183,7 +233,7 @@ class LServeEngine:
     def prefill(
         self, seq_id: object, token_ids: np.ndarray, chunk_size: int | None = None
     ) -> np.ndarray:
-        """Prefill a fresh sequence; returns logits ``(n_tokens, vocab_size)``.
+        """Prefill a fresh sequence; returns logits for the computed positions.
 
         The sequence must be empty.  When ``chunk_size`` is given, the prompt
         is processed in chunks of that many tokens (chunked prefill): each
@@ -194,27 +244,136 @@ class LServeEngine:
         numerics — identical to single-shot prefill; other sizes still work
         but tile the Λ mask at shifted boundaries, and with ``kv_bits < 16``
         the re-read history adds quantization rounding.
+
+        With the prefix cache enabled (``config.prefix_cache_enabled``), a
+        prompt whose leading pages match a registered prefix **attaches** the
+        matched KV pages instead of recomputing them; only the unmatched tail
+        is computed (as a chunked-prefill continuation at an aligned
+        boundary, so numerics follow the chunked-prefill rules above), and
+        the returned logits cover just those computed positions — the last
+        row is still the next-token distribution.  At least one prompt token
+        is always computed.  ``stats.prefix_hit_tokens`` counts the attached
+        tokens; ``stats.prefill_tokens`` counts computed ones.
         """
-        if not self.cache.has_sequence(seq_id):
-            self.add_sequence(seq_id)
-        if self.cache.seq_len(seq_id) != 0:
-            raise ValueError("prefill requires an empty sequence")
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim != 1 or token_ids.size == 0:
             raise ValueError("token_ids must be a non-empty 1-D array")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when set")
         n = int(token_ids.size)
-        if chunk_size is None or chunk_size >= n:
-            logits = self._forward(seq_id, token_ids, is_prefill=True)
+
+        attached = 0
+        if self.prefix_cache is not None and not self.cache.has_sequence(seq_id):
+            attached = self._attach_prefix(seq_id, token_ids)
+        if not self.cache.has_sequence(seq_id):
+            self.add_sequence(seq_id)
+        if self.cache.seq_len(seq_id) != attached:
+            raise ValueError("prefill requires an empty sequence")
+
+        remaining = token_ids[attached:]
+        self._reserve_pages(seq_id, int(remaining.size))
+        if chunk_size is None or chunk_size >= remaining.size:
+            logits = self._forward(seq_id, remaining, is_prefill=True)
         else:
             parts = [
-                self._forward(seq_id, token_ids[start : start + chunk_size], is_prefill=True)
-                for start in range(0, n, chunk_size)
+                self._forward(seq_id, remaining[start : start + chunk_size], is_prefill=True)
+                for start in range(0, int(remaining.size), chunk_size)
             ]
             logits = np.concatenate(parts, axis=0)
-        self.stats.prefill_tokens += n
+        self.stats.prefill_tokens += n - attached
+        self.stats.prefix_hit_tokens += attached
+        if self.prefix_cache is not None:
+            self._register_prefix(seq_id, token_ids)
         return logits
+
+    # -- prefix sharing ----------------------------------------------------------
+    def _attach_prefix(self, seq_id: object, token_ids: np.ndarray) -> int:
+        """Attach the longest indexed prefix of the prompt; returns tokens attached."""
+        assert self.prefix_cache is not None
+        align = self.config.prefix_match_alignment
+        page = self.config.physical_page_size
+        # Keep at least one prompt token to compute (the caller needs the
+        # last position's logits) and land the boundary on the alignment.
+        max_tokens = ((token_ids.size - 1) // align) * align
+        if max_tokens <= 0:
+            return 0
+        chain = self.prefix_cache.match(token_ids, max_tokens=max_tokens)
+        matched = ((len(chain) * page) // align) * align
+        n_pages = matched // page
+        if n_pages == 0:
+            return 0
+        chain = chain[:n_pages]
+        cfg = self.model.config
+        dense_pages = [node.page for node in chain]
+        dense_stats = None
+        if self.cache.dense_cache is not None:
+            dense_stats = [
+                [s for node in chain for s in node.stats_per_layer[layer]]
+                for layer in range(cfg.n_layers)
+            ]
+        stream_k = stream_v = None
+        if self._streaming_kv_heads_idx.size:
+            stream_k = [
+                np.concatenate([node.stream_k_per_layer[layer] for node in chain])
+                for layer in range(cfg.n_layers)
+            ]
+            stream_v = [
+                np.concatenate([node.stream_v_per_layer[layer] for node in chain])
+                for layer in range(cfg.n_layers)
+            ]
+        self.cache.attach_prefix(seq_id, matched, dense_pages, dense_stats, stream_k, stream_v)
+        return matched
+
+    def _register_prefix(self, seq_id: object, token_ids: np.ndarray) -> None:
+        """Index the prompt's full pages so later prompts can attach them."""
+        assert self.prefix_cache is not None
+        cfg = self.model.config
+        page_size = self.config.physical_page_size
+        lpp = page_size // self.config.logical_page_size
+        dense = self.cache.dense_cache
+        n_pages = int(token_ids.size) // page_size
+        if n_pages == 0:
+            return
+        if dense is not None:
+            pages = list(dense.page_table(seq_id).pages[:n_pages])
+        else:
+            pages = [None] * n_pages
+
+        def stats_for_page(i: int):
+            if dense is None:
+                return None
+            return [
+                dense.key_stats_objects(seq_id, layer)[i * lpp : (i + 1) * lpp]
+                for layer in range(cfg.n_layers)
+            ]
+
+        histories: list[tuple[np.ndarray, np.ndarray]] = []
+
+        def streaming_for_page(i: int):
+            if not self._streaming_kv_heads_idx.size:
+                return None, None
+            if not histories:
+                histories.extend(
+                    self.cache.streaming_history(seq_id, layer)
+                    for layer in range(cfg.n_layers)
+                )
+            ks = [histories[layer][0][i * page_size : (i + 1) * page_size] for layer in range(cfg.n_layers)]
+            vs = [histories[layer][1][i * page_size : (i + 1) * page_size] for layer in range(cfg.n_layers)]
+            return ks, vs
+
+        self.prefix_cache.register(token_ids, pages, stats_for_page, streaming_for_page)
+
+    def _reserve_pages(self, seq_id: object, n_new_tokens: int) -> None:
+        """Reserve KV pages for an append, evicting prefix-index pages if needed."""
+        if n_new_tokens <= 0:
+            return
+        dense = self.cache.dense_cache
+        if dense is None:
+            return
+        required = self.cache.pages_required(seq_id, n_new_tokens)
+        if not dense.allocator.can_allocate(required) and self.prefix_cache is not None:
+            self.prefix_cache.evict_until(required)
+        self.cache.prepare_append(seq_id, n_new_tokens)
 
     def decode(self, seq_id: object, token_id: int) -> np.ndarray:
         """One decode step; returns logits ``(vocab_size,)``."""
@@ -243,6 +402,20 @@ class LServeEngine:
         for seq_id in seq_ids:
             if self.cache.seq_len(seq_id) == 0:
                 raise ValueError(f"decode requires a prefilled sequence, got {seq_id!r}")
+
+        # Reserve this iteration's pages per sequence *before* touching any
+        # KV state: an exhausted pool must surface as a clean per-sequence
+        # failure, never as a mid-batch, mid-layer partial append.
+        failed: list[object] = []
+        for seq_id in seq_ids:
+            try:
+                self._reserve_pages(seq_id, 1)
+            except OutOfPagesError:
+                failed.append(seq_id)
+        if failed:
+            dense = self.cache.dense_cache
+            num_free = dense.allocator.num_free if dense is not None else 0
+            raise DecodeOutOfPagesError(failed, num_free)
 
         cfg = self.model.config
         weights = self.model.weights

@@ -32,10 +32,15 @@ class PageSelection:
 
     ``pages_per_kv_head[h]`` is a sorted array of selected physical page
     positions (indices into the sequence's page table) for KV head ``h``.
+    ``n_logical_pages`` records how many logical pages the scored key stats
+    covered — the reuse cache keys freshness on it, because new tokens can
+    open a fresh *logical* page (changing the kmin/kmax set) without growing
+    the physical page count.
     """
 
     pages_per_kv_head: list[np.ndarray]
     n_physical_pages: int
+    n_logical_pages: int = 0
 
     def selected_fraction(self) -> float:
         """Average fraction of physical pages kept across KV heads."""
@@ -81,7 +86,11 @@ class PageSelector:
             sink_pages=self.sink_pages,
             local_pages=self.local_pages,
         )
-        return PageSelection(pages_per_kv_head=pages, n_physical_pages=physical.shape[1])
+        return PageSelection(
+            pages_per_kv_head=pages,
+            n_physical_pages=physical.shape[1],
+            n_logical_pages=int(np.asarray(kmin).shape[0]),
+        )
 
 
 @dataclass
@@ -95,7 +104,8 @@ class ReusablePageSelector:
 
     A cached selection is reused for up to ``reuse_interval`` consecutive
     queries of the same sequence; the cache is also refreshed whenever the
-    number of physical pages grows (a new page appeared since the cached
+    number of physical *or logical* pages grows (a new page — or new key
+    statistics inside the same physical page — appeared since the cached
     decision, which the cached decision cannot cover).
     """
 
@@ -153,10 +163,15 @@ class ReusablePageSelector:
         n_logical = np.asarray(kmin).shape[0]
         n_physical = -(-n_logical // self.selector.config.logical_pages_per_physical)
         entry = self._cache.get(key)
+        # Freshness is keyed on *both* page counts: a new token can open a
+        # fresh logical page inside the same physical page, changing the
+        # kmin/kmax set (and thus the scores) without growing the physical
+        # count — the cached decision would silently go stale.
         if (
             entry is not None
             and entry.queries_served < self.reuse_interval
             and entry.selection.n_physical_pages == n_physical
+            and entry.selection.n_logical_pages == n_logical
         ):
             entry.queries_served += 1
             return entry.selection

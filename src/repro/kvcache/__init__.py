@@ -1,10 +1,12 @@
 """Paged KV-cache substrate.
 
-Implements the memory-management layer LServe builds on: a page allocator and
-per-sequence page tables (PagedAttention-style), low-bit KV quantization
-(QServe-style KV4/KV8), per-logical-page key statistics used by the
-hierarchical page selector, and the two-way paged cache that keeps separate
-page tables for dense and streaming heads (paper Fig. 5).
+Implements the memory-management layer LServe builds on: a **ref-counted**
+page allocator and per-sequence page tables (PagedAttention-style), low-bit
+KV quantization (QServe-style KV4/KV8), per-logical-page key statistics used
+by the hierarchical page selector, the two-way paged cache that keeps
+separate page tables for dense and streaming heads (paper Fig. 5), and a
+RadixAttention-style :class:`PrefixIndex` for copy-on-write prefix sharing
+(fork -> CoW tail -> decref; see ``docs/architecture.md``).
 """
 
 from repro.kvcache.allocator import OutOfPagesError, PageAllocator
@@ -17,7 +19,8 @@ from repro.kvcache.quantization import (
 )
 from repro.kvcache.kv_stats import PageKeyStats, compute_page_key_stats, merge_key_stats
 from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
-from repro.kvcache.dual_cache import DualPagedKVCache
+from repro.kvcache.dual_cache import DualPagedKVCache, StreamingKVStore
+from repro.kvcache.prefix_index import PrefixIndex, PrefixNode
 
 __all__ = [
     "OutOfPagesError",
@@ -33,4 +36,7 @@ __all__ = [
     "PagedCacheConfig",
     "PagedKVCache",
     "DualPagedKVCache",
+    "StreamingKVStore",
+    "PrefixIndex",
+    "PrefixNode",
 ]

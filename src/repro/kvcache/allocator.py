@@ -3,6 +3,14 @@
 Mirrors the block allocator of PagedAttention (vLLM): a fixed pool of
 physical pages handed out from a free list, with explicit out-of-memory
 signalling so the scheduler can apply admission control.
+
+Pages are **reference counted** so that several sequences (and the prefix
+index) can share one physical page, RadixAttention-style: ``allocate``
+hands out a page with refcount 1, ``incref`` registers an additional
+sharer, and ``decref`` drops one reference — the page returns to the free
+list only when its last reference is gone.  ``free`` is kept as an alias
+for ``decref`` (the single-owner special case), and over-releasing a page
+raises exactly like a double free always has.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ class OutOfPagesError(RuntimeError):
 
 
 class PageAllocator:
-    """Free-list allocator over ``num_pages`` physical pages."""
+    """Ref-counted free-list allocator over ``num_pages`` physical pages."""
 
     def __init__(self, num_pages: int) -> None:
         if num_pages <= 0:
@@ -23,7 +31,7 @@ class PageAllocator:
         self._capacity = num_pages
         # LIFO free list: reusing recently freed pages keeps the working set hot.
         self._free: list[int] = list(range(num_pages - 1, -1, -1))
-        self._allocated: set[int] = set()
+        self._refcounts: dict[int, int] = {}
 
     @property
     def capacity(self) -> int:
@@ -35,20 +43,33 @@ class PageAllocator:
 
     @property
     def num_allocated(self) -> int:
-        return len(self._allocated)
+        return len(self._refcounts)
+
+    @property
+    def total_refs(self) -> int:
+        """Sum of refcounts over all allocated pages (shared pages count once per sharer)."""
+        return sum(self._refcounts.values())
+
+    def refcount(self, page: int) -> int:
+        """Current reference count of a page (0 when the page is free)."""
+        return self._refcounts.get(page, 0)
+
+    def is_shared(self, page: int) -> bool:
+        """Whether more than one owner currently references the page."""
+        return self._refcounts.get(page, 0) > 1
 
     def can_allocate(self, n: int = 1) -> bool:
         """Whether ``n`` pages can be allocated without raising."""
         return self.num_free >= n
 
     def allocate(self) -> int:
-        """Allocate one physical page; raises :class:`OutOfPagesError` if full."""
+        """Allocate one physical page (refcount 1); raises :class:`OutOfPagesError` if full."""
         if not self._free:
             raise OutOfPagesError(
                 f"KV cache exhausted: all {self._capacity} pages are allocated"
             )
         page = self._free.pop()
-        self._allocated.add(page)
+        self._refcounts[page] = 1
         return page
 
     def allocate_many(self, n: int) -> list[int]:
@@ -61,12 +82,32 @@ class PageAllocator:
             )
         return [self.allocate() for _ in range(n)]
 
-    def free(self, page: int) -> None:
-        """Return a page to the pool."""
-        if page not in self._allocated:
+    def incref(self, page: int) -> int:
+        """Register one more reference to an allocated page; returns the new count."""
+        if page not in self._refcounts:
             raise ValueError(f"page {page} is not currently allocated")
-        self._allocated.remove(page)
-        self._free.append(page)
+        self._refcounts[page] += 1
+        return self._refcounts[page]
+
+    def decref(self, page: int) -> int:
+        """Drop one reference; frees the page when the count reaches zero.
+
+        Returns the remaining reference count.  Dropping a reference on a
+        page that is not allocated (a double free / double decref) raises
+        ``ValueError``.
+        """
+        if page not in self._refcounts:
+            raise ValueError(f"page {page} is not currently allocated")
+        self._refcounts[page] -= 1
+        remaining = self._refcounts[page]
+        if remaining == 0:
+            del self._refcounts[page]
+            self._free.append(page)
+        return remaining
+
+    def free(self, page: int) -> None:
+        """Drop one reference to a page (alias of :meth:`decref`)."""
+        self.decref(page)
 
     def free_many(self, pages: list[int]) -> None:
         for page in pages:

@@ -95,6 +95,68 @@ class StreamingKVStore:
         """Number of tokens actually held (bounded by sink + local)."""
         return len(self._sink_k) + len(self._local_k)
 
+    def clone(self) -> "StreamingKVStore":
+        """An independent copy (used when forking a sequence)."""
+        copy = StreamingKVStore(
+            n_kv_heads=self.n_kv_heads,
+            head_dim=self.head_dim,
+            sink_tokens=self.sink_tokens,
+            local_tokens=self.local_tokens,
+            eviction_granularity=self.eviction_granularity,
+        )
+        copy._sink_k = list(self._sink_k)
+        copy._sink_v = list(self._sink_v)
+        copy._local_k = list(self._local_k)
+        copy._local_v = list(self._local_v)
+        copy._local_pos = list(self._local_pos)
+        copy._total_tokens = self._total_tokens
+        return copy
+
+    @classmethod
+    def restore(
+        cls,
+        n_kv_heads: int,
+        head_dim: int,
+        sink_tokens: int,
+        local_tokens: int,
+        eviction_granularity: int,
+        k_history: np.ndarray,
+        v_history: np.ndarray,
+        total_tokens: int,
+    ) -> "StreamingKVStore":
+        """Rebuild the store state after ``total_tokens`` appends, exactly.
+
+        ``k_history``/``v_history`` cover positions ``[0, total_tokens)``
+        (``(total_tokens, n_kv_heads, head_dim)``).  Because the local-window
+        start is monotone in the append position, the surviving entries after
+        an incremental run are exactly the sink positions plus the positions
+        at or past the final window start — so direct reconstruction is
+        byte-identical to replaying every append.
+        """
+        store = cls(
+            n_kv_heads=n_kv_heads,
+            head_dim=head_dim,
+            sink_tokens=sink_tokens,
+            local_tokens=local_tokens,
+            eviction_granularity=eviction_granularity,
+        )
+        if total_tokens == 0:
+            return store
+        if k_history.shape[0] < total_tokens or v_history.shape[0] < total_tokens:
+            raise ValueError(
+                f"history covers {k_history.shape[0]} tokens; need {total_tokens}"
+            )
+        n_sink = min(sink_tokens, total_tokens)
+        store._sink_k = [np.array(k_history[i]) for i in range(n_sink)]
+        store._sink_v = [np.array(v_history[i]) for i in range(n_sink)]
+        window_start = store._local_window_start(total_tokens - 1)
+        local_from = max(window_start, sink_tokens)
+        store._local_pos = list(range(local_from, total_tokens))
+        store._local_k = [np.array(k_history[i]) for i in store._local_pos]
+        store._local_v = [np.array(v_history[i]) for i in store._local_pos]
+        store._total_tokens = total_tokens
+        return store
+
     def get(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return stored ``(k, v, positions)`` in position order."""
         if self.stored_tokens == 0:
@@ -130,6 +192,7 @@ class DualPagedKVCache:
         streaming_head_mask: np.ndarray,
         sink_tokens: int,
         local_tokens: int,
+        retain_streaming_pages: bool = False,
     ) -> None:
         mask = np.asarray(streaming_head_mask, dtype=bool)
         if mask.shape != (config.n_kv_heads,):
@@ -158,6 +221,14 @@ class DualPagedKVCache:
         # (seq_id, layer) -> StreamingKVStore
         self._streaming: dict[tuple[object, int], StreamingKVStore] = {}
         self._seq_ids: set[object] = set()
+        # Optional per-sequence log of every streaming-head K/V ever appended
+        # (list of (k, v) chunks per (seq_id, layer)).  The prefix index needs
+        # it: attaching a shared prefix must rebuild the streaming store at an
+        # arbitrary page boundary, including tokens the live store already
+        # evicted.  Off by default — it trades the streaming heads' constant
+        # memory for shareability, so only prefix-caching engines enable it.
+        self.retain_streaming_pages = retain_streaming_pages
+        self._stream_log: dict[tuple[object, int], list[tuple[np.ndarray, np.ndarray]]] = {}
 
     # -- sequence management ---------------------------------------------------
     def add_sequence(self, seq_id: object) -> None:
@@ -175,6 +246,8 @@ class DualPagedKVCache:
                     local_tokens=self.local_tokens,
                     eviction_granularity=self.config.page_size,
                 )
+                if self.retain_streaming_pages:
+                    self._stream_log[(seq_id, layer)] = []
 
     def remove_sequence(self, seq_id: object) -> None:
         if seq_id not in self._seq_ids:
@@ -184,6 +257,112 @@ class DualPagedKVCache:
             self.dense_cache.remove_sequence(seq_id)
         for layer in range(self.config.n_layers):
             self._streaming.pop((seq_id, layer), None)
+            self._stream_log.pop((seq_id, layer), None)
+
+    def fork_sequence(self, parent_id: object, child_id: object) -> None:
+        """Copy-on-write fork: dense pages are referenced, streaming state copied.
+
+        The dense pool forks through :meth:`PagedKVCache.fork_sequence`
+        (shared pages, tail copied on first divergent append); the streaming
+        stores are constant-size, so the child simply gets independent clones.
+        """
+        if parent_id not in self._seq_ids:
+            raise KeyError(f"unknown sequence {parent_id!r}")
+        if child_id in self._seq_ids:
+            raise ValueError(f"sequence {child_id!r} already exists")
+        if self.dense_cache is not None:
+            self.dense_cache.fork_sequence(parent_id, child_id)
+        self._seq_ids.add(child_id)
+        for layer in range(self.config.n_layers):
+            parent_store = self._streaming.get((parent_id, layer))
+            if parent_store is not None:
+                self._streaming[(child_id, layer)] = parent_store.clone()
+            if self.retain_streaming_pages:
+                # Chunks are append-only arrays, so a shallow list copy is safe.
+                self._stream_log[(child_id, layer)] = list(
+                    self._stream_log.get((parent_id, layer), [])
+                )
+
+    def attach_prefix(
+        self,
+        seq_id: object,
+        n_tokens: int,
+        dense_pages: list[int],
+        dense_stats_per_layer: list[list] | None,
+        stream_k_per_layer: list[np.ndarray] | None,
+        stream_v_per_layer: list[np.ndarray] | None,
+    ) -> None:
+        """Create ``seq_id`` whose first ``n_tokens`` come from shared prefix pages.
+
+        Dense-head pages are attached by reference (incref'd, key stats
+        aliased); streaming stores are rebuilt exactly from the retained
+        streaming history of the prefix (``stream_*_per_layer``, one
+        ``(n_tokens, n_streaming_heads, head_dim)`` array per layer).
+        """
+        if seq_id in self._seq_ids:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        if self.dense_cache is not None:
+            if dense_stats_per_layer is None:
+                raise ValueError("dense head prefix requires per-layer key stats")
+            self.dense_cache.attach_prefix(
+                seq_id, dense_pages, n_tokens, dense_stats_per_layer
+            )
+        self._seq_ids.add(seq_id)
+        if self.streaming_head_indices.size:
+            if stream_k_per_layer is None or stream_v_per_layer is None:
+                raise ValueError(
+                    "attaching a prefix with streaming heads requires the "
+                    "retained streaming history of the prefix"
+                )
+            for layer in range(self.config.n_layers):
+                self._streaming[(seq_id, layer)] = StreamingKVStore.restore(
+                    n_kv_heads=int(self.streaming_head_indices.size),
+                    head_dim=self.config.head_dim,
+                    sink_tokens=self.sink_tokens,
+                    local_tokens=self.local_tokens,
+                    eviction_granularity=self.config.page_size,
+                    k_history=stream_k_per_layer[layer],
+                    v_history=stream_v_per_layer[layer],
+                    total_tokens=n_tokens,
+                )
+                if self.retain_streaming_pages:
+                    self._stream_log[(seq_id, layer)] = [
+                        (stream_k_per_layer[layer], stream_v_per_layer[layer])
+                    ]
+
+    def prepare_append(self, seq_id: object, n_new_tokens: int) -> None:
+        """Reserve the dense pool's pages for an upcoming append, atomically.
+
+        Raises :class:`~repro.kvcache.allocator.OutOfPagesError` before any
+        state changes when the pool cannot cover it; the streaming stores are
+        constant-size and never allocate.
+        """
+        if seq_id not in self._seq_ids:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        if self.dense_cache is not None:
+            self.dense_cache.prepare_append(seq_id, n_new_tokens)
+
+    def pages_required(self, seq_id: object, n_new_tokens: int) -> int:
+        """Dense-pool pages an ``n_new_tokens`` append must be able to allocate."""
+        if self.dense_cache is None:
+            return 0
+        return self.dense_cache.pages_required(seq_id, n_new_tokens)
+
+    def streaming_history(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Full retained streaming-head K/V history ``(n_tokens, heads, dim)``.
+
+        Only available when the cache was built with
+        ``retain_streaming_pages=True``.
+        """
+        if not self.retain_streaming_pages:
+            raise RuntimeError("streaming history retention is disabled")
+        chunks = self._stream_log.get((seq_id, layer), [])
+        if not chunks:
+            empty = np.zeros((0, int(self.streaming_head_indices.size), self.config.head_dim))
+            return empty, empty.copy()
+        k = np.concatenate([c[0] for c in chunks])
+        v = np.concatenate([c[1] for c in chunks])
+        return k, v
 
     def has_sequence(self, seq_id: object) -> bool:
         return seq_id in self._seq_ids
@@ -209,9 +388,12 @@ class DualPagedKVCache:
                 seq_id, layer, k[:, self.dense_head_indices], v[:, self.dense_head_indices]
             )
         if self.streaming_head_indices.size:
-            self._streaming[(seq_id, layer)].append(
-                k[:, self.streaming_head_indices], v[:, self.streaming_head_indices]
-            )
+            k_s = k[:, self.streaming_head_indices]
+            v_s = v[:, self.streaming_head_indices]
+            self._streaming[(seq_id, layer)].append(k_s, v_s)
+            if self.retain_streaming_pages:
+                # Fancy-indexed slices above are fresh arrays; log them as-is.
+                self._stream_log.setdefault((seq_id, layer), []).append((k_s, v_s))
 
     # -- reads ---------------------------------------------------------------------
     def get_dense(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:

@@ -48,6 +48,17 @@ class PageTable:
         rem = self.num_tokens % self.page_size
         return self.page_size if rem == 0 else rem
 
+    def fork(self) -> "PageTable":
+        """An independent table referencing the same physical pages.
+
+        Used by copy-on-write sequence forking: the caller owns the refcount
+        bookkeeping (one ``incref`` per referenced page); mutating either
+        table's page list afterwards never affects the other.
+        """
+        return PageTable(
+            page_size=self.page_size, pages=list(self.pages), num_tokens=self.num_tokens
+        )
+
     def pages_needed_for(self, n_new_tokens: int) -> int:
         """How many new physical pages appending ``n_new_tokens`` requires."""
         if n_new_tokens < 0:

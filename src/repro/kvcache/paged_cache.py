@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.kvcache.allocator import PageAllocator
+from repro.kvcache.allocator import OutOfPagesError, PageAllocator
 from repro.kvcache.kv_stats import PageKeyStats
 from repro.kvcache.page_table import PageTable
 from repro.kvcache.quantization import SUPPORTED_BITS, dequantize, quantize
@@ -100,6 +100,67 @@ class PagedKVCache:
             del self._tokens[(seq_id, layer)]
             del self._key_stats[(seq_id, layer)]
 
+    def fork_sequence(self, parent_id: object, child_id: object) -> None:
+        """Create ``child_id`` as a copy-on-write fork of ``parent_id``.
+
+        Every physical page of the parent is *referenced* (incref'd), not
+        copied; the child's page table and per-layer key-stats lists are
+        independent, but full logical pages share their :class:`PageKeyStats`
+        objects with the parent (they are immutable once full).  Only the
+        partially filled tail stats entry is deep-copied, because either
+        sequence may keep folding new keys into it.  The shared tail *page*
+        itself is copied lazily, on the first divergent append (see
+        :meth:`_copy_tail_page_on_write`).
+        """
+        ptable = self._table(parent_id)
+        if child_id in self._tables:
+            raise ValueError(f"sequence {child_id!r} already exists")
+        for page in ptable.pages:
+            self.allocator.incref(page)
+        self._tables[child_id] = ptable.fork()
+        lps = self.config.effective_logical_page_size
+        for layer in range(self.config.n_layers):
+            self._tokens[(child_id, layer)] = self._tokens[(parent_id, layer)]
+            stats = list(self._key_stats[(parent_id, layer)])
+            if stats and stats[-1].n_tokens < lps:
+                tail = stats[-1]
+                stats[-1] = PageKeyStats(
+                    kmin=tail.kmin.copy(), kmax=tail.kmax.copy(), n_tokens=tail.n_tokens
+                )
+            self._key_stats[(child_id, layer)] = stats
+
+    def attach_prefix(
+        self,
+        seq_id: object,
+        pages: list[int],
+        n_tokens: int,
+        stats_per_layer: list[list[PageKeyStats]],
+    ) -> None:
+        """Create ``seq_id`` with a shared, already-materialised page prefix.
+
+        ``pages`` must cover exactly ``n_tokens`` (full pages only — the
+        prefix index shares at physical-page granularity); each page is
+        incref'd and the per-layer key stats are aliased, exactly as in
+        :meth:`fork_sequence` (full-page stats are immutable).
+        """
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        if n_tokens != len(pages) * self.config.page_size:
+            raise ValueError(
+                f"attach_prefix shares whole pages: {len(pages)} pages cover "
+                f"{len(pages) * self.config.page_size} tokens, not {n_tokens}"
+            )
+        if len(stats_per_layer) != self.config.n_layers:
+            raise ValueError("stats_per_layer must have one entry per layer")
+        for page in pages:
+            self.allocator.incref(page)
+        self._tables[seq_id] = PageTable(
+            page_size=self.config.page_size, pages=list(pages), num_tokens=n_tokens
+        )
+        for layer in range(self.config.n_layers):
+            self._tokens[(seq_id, layer)] = n_tokens
+            self._key_stats[(seq_id, layer)] = list(stats_per_layer[layer])
+
     def has_sequence(self, seq_id: object) -> bool:
         return seq_id in self._tables
 
@@ -120,6 +181,66 @@ class PagedKVCache:
         return self._tokens[(seq_id, layer)]
 
     # -- writes ----------------------------------------------------------------
+    def _copy_tail_page_on_write(self, table: PageTable, page_pos: int) -> None:
+        """Give the sequence a private copy of a shared page before writing into it.
+
+        Copies the page's K/V storage across *all* layers (layers share the
+        page table, so one copy serves every layer's upcoming write) and drops
+        one reference on the shared original — the sibling that still
+        references it is unaffected.
+        """
+        old_page = table.pages[page_pos]
+        new_page = self.allocator.allocate()
+        for layer in range(self.config.n_layers):
+            self._k_store[layer][new_page] = self._k_store[layer][old_page]
+            self._v_store[layer][new_page] = self._v_store[layer][old_page]
+        self.allocator.decref(old_page)
+        table.pages[page_pos] = new_page
+
+    def _tail_needs_cow(self, table: PageTable, start: int) -> bool:
+        """Whether a write starting at token ``start`` lands in a shared page."""
+        page_pos = start // self.config.page_size
+        return page_pos < table.num_pages and self.allocator.is_shared(
+            table.pages[page_pos]
+        )
+
+    def pages_required(self, seq_id: object, n_new_tokens: int) -> int:
+        """Physical pages an ``n_new_tokens`` append must be able to allocate.
+
+        Counts fresh pages for capacity growth plus one extra page when the
+        first write would land in a *shared* (copy-on-write) tail page.
+        """
+        table = self._table(seq_id)
+        if n_new_tokens <= 0:
+            return 0
+        cow = 1 if self._tail_needs_cow(table, table.num_tokens) else 0
+        return cow + table.pages_needed_for(n_new_tokens)
+
+    def prepare_append(self, seq_id: object, n_new_tokens: int) -> None:
+        """Reserve everything an ``n_new_tokens`` append needs, atomically.
+
+        Performs the copy-on-write of a shared tail page and allocates all
+        fresh pages up front — or raises :class:`OutOfPagesError` *before
+        mutating anything*, so a failed reservation leaves the cache exactly
+        as it was.  After a successful reservation the subsequent
+        :meth:`append` calls (one per layer) can no longer run out of pages
+        mid-write, which is what keeps a batched decode iteration atomic.
+        """
+        table = self._table(seq_id)
+        if n_new_tokens <= 0:
+            return
+        required = self.pages_required(seq_id, n_new_tokens)
+        if not self.allocator.can_allocate(required):
+            raise OutOfPagesError(
+                f"cannot reserve {required} pages for sequence {seq_id!r}: "
+                f"only {self.allocator.num_free} free of {self.allocator.capacity}"
+            )
+        if self._tail_needs_cow(table, table.num_tokens):
+            self._copy_tail_page_on_write(table, table.num_tokens // self.config.page_size)
+        needed = table.pages_needed_for(n_new_tokens)
+        if needed:
+            table.append_pages(self.allocator.allocate_many(needed))
+
     def append(self, seq_id: object, layer: int, k: np.ndarray, v: np.ndarray) -> None:
         """Append new tokens' keys/values for one layer.
 
@@ -144,6 +265,10 @@ class PagedKVCache:
 
         start = self._tokens[(seq_id, layer)]
         end = start + n_new
+        # Copy-on-write: the first layer to write into a shared (forked) tail
+        # page copies it for all layers; later layers then see a private page.
+        if self._tail_needs_cow(table, start):
+            self._copy_tail_page_on_write(table, start // cfg.page_size)
         # Grow the shared page table if this layer outruns its capacity.
         capacity = table.num_pages * cfg.page_size
         if end > capacity:
@@ -262,6 +387,15 @@ class PagedKVCache:
     def num_logical_pages(self, seq_id: object, layer: int = 0) -> int:
         return len(self._key_stats[(seq_id, layer)])
 
+    def key_stats_objects(self, seq_id: object, layer: int) -> list[PageKeyStats]:
+        """The live per-logical-page stats list (shared with the cache).
+
+        The prefix index aliases slices of this list when registering full
+        pages; full-page entries are immutable, so aliasing is safe.
+        """
+        self._table(seq_id)
+        return self._key_stats[(seq_id, layer)]
+
     # -- accounting --------------------------------------------------------------
     def memory_bytes_model(self, seq_id: object | None = None) -> float:
         """Modelled KV memory footprint in bytes.
@@ -272,7 +406,11 @@ class PagedKVCache:
         """
         cfg = self.config
         if seq_id is None:
-            pages = sum(t.num_pages for t in self._tables.values())
+            # Every allocated page counts once: shared (forked / attached)
+            # pages are physical storage once regardless of how many
+            # sequences reference them, and pages pinned only by the prefix
+            # index still occupy the pool even though no table lists them.
+            pages = self.allocator.num_allocated
         else:
             pages = self._table(seq_id).num_pages
         elems_per_page = cfg.page_size * cfg.n_kv_heads * cfg.head_dim

@@ -20,9 +20,15 @@ policy-driven and preemptive: the
 under a pluggable policy (FCFS / shortest-prompt-first / priority classes)
 with best-effort high/low-watermark KV admission, and evicts running requests
 under KV pressure (recompute-style preemption, replayed byte-identically on
-resume).  :mod:`repro.serving.workload` generates seeded Poisson/bursty
-request traces from scenario presets, and TTFT / per-token latency /
-throughput / SLO attainment are reported through the same
+resume).  Prefix sharing threads through the whole stack: backends report
+``StepResult.prefix_hit_tokens`` for prompts attached from the KV prefix
+cache, watermarks charge each request only for its *unique* KV, and a
+backend-reported page exhaustion
+(:class:`~repro.core.engine.DecodeOutOfPagesError`) preempts exactly the
+failed sequences.  :mod:`repro.serving.workload` generates seeded
+Poisson/bursty request traces from scenario presets (including the
+``"shared_prefix"`` multi-tenant/multi-turn regime), and TTFT / per-token
+latency / throughput / SLO attainment are reported through the same
 :class:`~repro.serving.metrics.ServingMetrics` records for every backend and
 policy.
 """

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.engine import LServeEngine
 from repro.gpu.simulator import LatencySimulator
+from repro.kvcache.prefix_index import PrefixIndex
 
 __all__ = [
     "StepResult",
@@ -46,10 +47,15 @@ class StepResult:
     for backends that model time but not content.  ``elapsed_s`` is the time
     the call is billed on the serving clock (modelled GPU seconds for the
     simulator, measured or modelled seconds for the real engine).
+    ``prefix_hit_tokens`` reports how many prompt tokens a prefill attached
+    from a shared prefix instead of computing (0 when sharing is off); the
+    serving engine uses it to account only *unique* KV against the
+    scheduler's watermarks.
     """
 
     logits: np.ndarray | None
     elapsed_s: float
+    prefix_hit_tokens: int = 0
 
 
 @dataclass
@@ -62,6 +68,9 @@ class BackendWork:
     decode_iterations: int = 0
     decode_tokens: int = 0
     decode_time_s: float = 0.0
+    #: Prompt tokens served from a shared prefix (not counted in
+    #: ``prefill_tokens``, which tracks *computed* prefill work).
+    prefix_hit_tokens: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -131,22 +140,62 @@ class SimulatedBackend:
 
     produces_logits = False
 
-    def __init__(self, latency: LatencySimulator) -> None:
+    def __init__(
+        self, latency: LatencySimulator, prefix_block_tokens: int | None = None
+    ) -> None:
+        """``prefix_block_tokens`` enables a prefix-cache cost model.
+
+        When set, the backend keeps a token-block index of every prompt it
+        has prefilled (the same :class:`~repro.kvcache.prefix_index.PrefixIndex`
+        the real engine uses, with no pages to pin); a later prompt is billed
+        only for its unmatched tail.  Requests must then carry real
+        ``prompt_token_ids`` — length-only requests all share the placeholder
+        prompt and would spuriously match each other; the serving engine
+        rejects them at submit via :attr:`requires_token_content`.
+        """
+        if prefix_block_tokens is not None and prefix_block_tokens < 1:
+            raise ValueError("prefix_block_tokens must be >= 1 when set")
         self.latency = latency
+        self.prefix_block_tokens = prefix_block_tokens
         self.work = BackendWork()
         self._context: dict[object, int] = {}
+        self._prefix_index = (
+            PrefixIndex(page_size=prefix_block_tokens)
+            if prefix_block_tokens is not None
+            else None
+        )
+
+    @property
+    def requires_token_content(self) -> bool:
+        """Whether requests must carry real token ids (prefix model enabled)."""
+        return self._prefix_index is not None
 
     def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
-        """Bill the modelled time-to-first-token for a fresh sequence's prompt."""
+        """Bill the modelled time-to-first-token for a fresh sequence's prompt.
+
+        With the prefix-cache cost model enabled, only the unmatched prompt
+        tail is billed and the hit is reported in the result.
+        """
         if seq_id in self._context:
             raise ValueError(f"sequence {seq_id!r} already prefilled")
-        n = int(np.asarray(token_ids).size)
+        token_ids = np.asarray(token_ids)
+        n = int(token_ids.size)
         if n == 0:
             raise ValueError("token_ids must be non-empty")
-        elapsed = self.latency.prefill_latency(n)
+        hit = 0
+        if self._prefix_index is not None:
+            block = self.prefix_block_tokens
+            limit = (n - 1) // block * block  # leave one token computed
+            hit = len(self._prefix_index.match(token_ids, max_tokens=limit)) * block
+            n_blocks = n // block
+            self._prefix_index.register(
+                token_ids, [None] * n_blocks, lambda i: None, lambda i: (None, None)
+            )
+        elapsed = self.latency.prefill_latency(n - hit)
         self._context[seq_id] = n
-        self.work.record_prefill(n, elapsed)
-        return StepResult(logits=None, elapsed_s=elapsed)
+        self.work.record_prefill(n - hit, elapsed)
+        self.work.prefix_hit_tokens += hit
+        return StepResult(logits=None, elapsed_s=elapsed, prefix_hit_tokens=hit)
 
     def decode_batch(
         self, seq_ids: list[object], token_ids: list[int] | np.ndarray
@@ -212,18 +261,25 @@ class LServeBackend:
         return self.engine.stats
 
     def prefill(self, seq_id: object, token_ids: np.ndarray) -> StepResult:
-        """Run real (optionally chunked) prefill; returns last-position logits."""
+        """Run real (optionally chunked) prefill; returns last-position logits.
+
+        When the engine's prefix cache attaches part of the prompt, only the
+        computed tail is billed (modelled time scales with computed tokens)
+        and the hit size is reported in the result.
+        """
         token_ids = np.asarray(token_ids, dtype=np.int64)
+        hits_before = self.engine.stats.prefix_hit_tokens
         wall_start = time.perf_counter()
         logits = self.engine.prefill(seq_id, token_ids, chunk_size=self.prefill_chunk_size)
         wall = time.perf_counter() - wall_start
+        hit = self.engine.stats.prefix_hit_tokens - hits_before
+        computed = int(token_ids.size) - hit
         elapsed = (
-            self.latency.prefill_latency(int(token_ids.size))
-            if self.latency is not None
-            else wall
+            self.latency.prefill_latency(computed) if self.latency is not None else wall
         )
-        self.work.record_prefill(int(token_ids.size), elapsed)
-        return StepResult(logits=logits[-1], elapsed_s=elapsed)
+        self.work.record_prefill(computed, elapsed)
+        self.work.prefix_hit_tokens += hit
+        return StepResult(logits=logits[-1], elapsed_s=elapsed, prefix_hit_tokens=hit)
 
     def decode_batch(
         self, seq_ids: list[object], token_ids: list[int] | np.ndarray

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import DecodeOutOfPagesError
 from repro.serving.backend import InferenceBackend
 from repro.serving.metrics import RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
@@ -127,6 +128,15 @@ class ServingEngine:
                 f"request {request.request_id!r} carries no prompt_token_ids but the "
                 "backend produces real logits; a length-only request would silently "
                 "generate from a placeholder prompt. Build it with Request.from_prompt()."
+            )
+        if request.prompt_token_ids is None and getattr(
+            self.backend, "requires_token_content", False
+        ):
+            raise ValueError(
+                f"request {request.request_id!r} carries no prompt_token_ids but the "
+                "backend's prefix-cache model matches on token content; length-only "
+                "requests all share the placeholder prompt and would spuriously hit. "
+                "Generate the trace with with_token_ids=True."
             )
         self.scheduler.config.validate_request_fits(request)
         handle = RequestHandle(request=request, state=RequestState(request=request))
@@ -250,6 +260,7 @@ class ServingEngine:
         result = self.backend.prefill(handle.seq_id, token_ids)
         self.clock_s += result.elapsed_s
         self.decision_log.append(f"prefill:{handle.request_id}")
+        state.shared_prefix_tokens = result.prefix_hit_tokens
         state.record_prefill(self.clock_s)
         # Prefill yields the first generated token.
         self._record_token(handle, result.logits)
@@ -275,7 +286,8 @@ class ServingEngine:
         handle = self._handles[state.request.request_id]
         result = self.backend.prefill(handle.seq_id, self._prompt_ids(handle.request))
         elapsed = result.elapsed_s
-        self.recompute_prefill_tokens += handle.request.prompt_tokens
+        state.shared_prefix_tokens = result.prefix_hit_tokens
+        self.recompute_prefill_tokens += handle.request.prompt_tokens - result.prefix_hit_tokens
         for token in handle.output_tokens[:-1]:
             replay = self.backend.decode_batch([handle.seq_id], [token])
             elapsed += replay.elapsed_s
@@ -307,7 +319,10 @@ class ServingEngine:
         tokens = [
             h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN for h in handles
         ]
-        result = self.backend.decode_batch([h.seq_id for h in handles], tokens)
+        try:
+            result = self.backend.decode_batch([h.seq_id for h in handles], tokens)
+        except DecodeOutOfPagesError as exc:
+            return self._step_decode_oom(batch, preempted, exc)
         self.clock_s += result.elapsed_s
         self.decision_log.append("decode:" + ",".join(h.request_id for h in handles))
         for i, handle in enumerate(handles):
@@ -322,6 +337,34 @@ class ServingEngine:
             finished_ids=finished,
             preempted_ids=preempted,
         )
+
+    def _step_decode_oom(
+        self,
+        batch: list[RequestState],
+        preempted: tuple[str, ...],
+        exc: DecodeOutOfPagesError,
+    ) -> StepOutcome:
+        """Evict exactly the sequences the backend could not reserve pages for.
+
+        The backend raised *before* mutating any KV state, so the failed
+        sequences can be preempted (recompute-style, like watermark victims)
+        and the surviving batch retried within the same step.  If every
+        sequence failed, nothing can make progress — the pool is genuinely
+        too small for one request — and the error propagates.
+        """
+        failed_ids = {str(s) for s in exc.failed_seq_ids}
+        victims = [s for s in batch if s.request.request_id in failed_ids]
+        survivors = [s for s in batch if s.request.request_id not in failed_ids]
+        if not victims or not survivors:
+            raise exc
+        self.scheduler.force_preempt(victims)
+        for state in victims:
+            handle = self._handles[state.request.request_id]
+            state.record_preempt(self.clock_s)
+            self.backend.release(handle.seq_id)
+            self.decision_log.append(f"preempt:{handle.request_id}")
+        preempted = preempted + tuple(s.request.request_id for s in victims)
+        return self._step_decode(survivors, preempted)
 
     def _prompt_ids(self, request: Request) -> np.ndarray:
         if request.prompt_token_ids is not None:

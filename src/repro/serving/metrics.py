@@ -93,16 +93,20 @@ class ServingMetrics:
         return len(self.records)
 
     def _select(self, priority: int | None = None) -> list[RequestRecord]:
-        records = (
-            self.records
-            if priority is None
-            else [r for r in self.records if r.priority == priority]
-        )
+        """Records of one priority class (``None`` = all classes).
+
+        An aggregate over *all* records simply returns the empty list when
+        nothing has completed yet — summary callers (benchmark tables, smoke
+        runs where everything was rejected or is still queued) report NaN/0
+        instead of crashing.  A lookup for a *specific* priority class with
+        no records still raises: a typo'd class id should error, not
+        silently report an empty class.
+        """
+        if priority is None:
+            return self.records
+        records = [r for r in self.records if r.priority == priority]
         if not records:
-            raise ValueError(
-                "no completed requests recorded"
-                + (f" for priority class {priority}" if priority is not None else "")
-            )
+            raise ValueError(f"no completed requests recorded for priority class {priority}")
         return records
 
     def priority_classes(self) -> list[int]:
@@ -116,23 +120,31 @@ class ServingMetrics:
         per-class aggregates, raises for a ``priority`` class with no records
         (a typo'd class id should error, not report zero preemptions).
         """
-        if not self.records and priority is None:
-            return 0
         return int(sum(r.preemptions for r in self._select(priority)))
 
     def mean_queueing_delay_s(self, priority: int | None = None) -> float:
-        """Mean seconds spent waiting for first admission."""
-        return float(np.mean([r.queueing_delay_s for r in self._select(priority)]))
+        """Mean seconds spent waiting for first admission (NaN with no records)."""
+        samples = [r.queueing_delay_s for r in self._select(priority)]
+        if not samples:
+            return float("nan")
+        return float(np.mean(samples))
 
     def mean_ttft_s(self, priority: int | None = None) -> float:
-        """Mean time to first token, in seconds."""
-        return float(np.mean([r.ttft_s for r in self._select(priority)]))
+        """Mean time to first token, in seconds (NaN with no records)."""
+        samples = [r.ttft_s for r in self._select(priority)]
+        if not samples:
+            return float("nan")
+        return float(np.mean(samples))
 
     def percentile_ttft_s(self, percentile: float, priority: int | None = None) -> float:
-        """TTFT percentile (e.g. ``percentile=99`` for p99), in seconds."""
-        return float(
-            np.percentile([r.ttft_s for r in self._select(priority)], percentile)
-        )
+        """TTFT percentile (e.g. ``percentile=99`` for p99), in seconds.
+
+        NaN when no requests have completed.
+        """
+        samples = [r.ttft_s for r in self._select(priority)]
+        if not samples:
+            return float("nan")
+        return float(np.percentile(samples, percentile))
 
     def percentile_tpot_s(self, percentile: float, priority: int | None = None) -> float:
         """Per-output-token latency percentile, in seconds.
@@ -174,9 +186,12 @@ class ServingMetrics:
 
         A request attains the SLO when its TTFT is at most ``ttft_slo_s``
         seconds and (when ``tpot_slo_s`` is given) its mean per-output-token
-        latency is at most ``tpot_slo_s`` seconds.
+        latency is at most ``tpot_slo_s`` seconds.  NaN when no requests have
+        completed (attainment over zero requests is undefined, not 100%).
         """
         records = self._select(priority)
+        if not records:
+            return float("nan")
         ok = 0
         for r in records:
             if r.ttft_s > ttft_slo_s:
@@ -191,14 +206,21 @@ class ServingMetrics:
         return int(sum(r.generated_tokens for r in self.records))
 
     def makespan_s(self) -> float:
-        """Seconds from the first arrival to the last finish."""
+        """Seconds from the first arrival to the last finish (0.0 with no records)."""
         records = self._select()
+        if not records:
+            return 0.0
         start = min(r.arrival_time_s for r in records)
         end = max(r.finish_time_s for r in records)
         return end - start
 
     def generation_throughput_tokens_s(self) -> float:
-        """Generated tokens per wall-clock second across the whole run."""
+        """Generated tokens per wall-clock second across the whole run.
+
+        0.0 when no requests have completed.
+        """
+        if not self.records:
+            return 0.0
         span = self.makespan_s()
         if span <= 0:
             return float("inf")

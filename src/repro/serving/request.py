@@ -118,21 +118,37 @@ class RequestState:
     preemptions: int = 0
     preempted_stall_s: float = 0.0
     last_preempt_time_s: float | None = None
+    #: Prompt tokens whose KV is shared with a cached prefix (set after each
+    #: prefill/resume from the backend's ``StepResult.prefix_hit_tokens``).
+    #: Shared pages are physical storage once, so they are excluded from this
+    #: request's KV accounting — admission and preemption watermarks charge
+    #: each request only for its *unique* pages.
+    shared_prefix_tokens: int = 0
 
     @property
     def context_length(self) -> int:
-        """Tokens currently materialised in the KV cache for this request.
+        """Unique KV tokens currently materialised for this request.
 
         ``0`` while the request is waiting or preempted (a preempted request's
-        KV pages were released; they are rebuilt on re-admission).
+        KV pages were released; they are rebuilt on re-admission).  Tokens
+        attached from a shared prefix are not charged to this request.
         """
         if self.status in (RequestStatus.WAITING, RequestStatus.PREEMPTED):
             return 0
-        return self.request.prompt_tokens + self.generated_tokens
+        return max(
+            0,
+            self.request.prompt_tokens + self.generated_tokens - self.shared_prefix_tokens,
+        )
 
     @property
     def resume_kv_tokens(self) -> int:
-        """KV tokens (re-)admission will materialise: prompt + generated so far."""
+        """KV tokens (re-)admission will materialise: prompt + generated so far.
+
+        Deliberately conservative: whether a prefix hit will shrink the
+        *unique* footprint is only known after the prefill runs, so admission
+        budgets the full size and the watermark accounting tightens once
+        ``shared_prefix_tokens`` is known.
+        """
         return self.request.prompt_tokens + self.generated_tokens
 
     @property

@@ -364,6 +364,21 @@ class ContinuousBatchingScheduler:
         self._total_preemptions += len(victims)
         return victims
 
+    def force_preempt(self, states: list[RequestState]) -> None:
+        """Evict specific running requests (backend-reported KV exhaustion).
+
+        Token-level watermarks are an *estimate* of page-pool pressure; the
+        backend's page allocator is the ground truth.  When a decode
+        iteration reports that specific sequences could not reserve their
+        pages, the serving engine evicts exactly those — the caller releases
+        their backend KV and marks the states preempted, as with
+        :meth:`preempt_for_pressure` victims.
+        """
+        for state in states:
+            self._running.remove(state)
+            self._waiting.append(state)
+        self._total_preemptions += len(states)
+
     def retire_finished(self) -> list[RequestState]:
         """Move finished requests out of the running batch, freeing their KV."""
         done = [s for s in self._running if s.is_finished]

@@ -16,11 +16,14 @@ Arrival processes:
 Prompt and output lengths are lognormal (median/σ parameterisation) clipped
 to ``[min, max]`` — the heavy right tail matches observed LLM serving traces.
 
-Three presets live in :data:`SCENARIOS`: ``"chat"`` (short interactive
+Four presets live in :data:`SCENARIOS`: ``"chat"`` (short interactive
 turns), ``"long_document_qa"`` (the paper's long-context regime: 16K–128K
-prompts, short answers, bursty arrivals), and ``"mixed_agentic"``
-(interactive traffic plus background agent jobs in two priority classes).
-Use :func:`scenario` to fetch one and :func:`dataclasses.replace` to vary it.
+prompts, short answers, bursty arrivals), ``"shared_prefix"`` (multi-tenant
+system prompts plus multi-turn follow-ups — most of every prompt is a
+shared prefix, the regime the prefix cache exists for), and
+``"mixed_agentic"`` (interactive traffic plus background agent jobs in two
+priority classes).  Use :func:`scenario` to fetch one and
+:func:`dataclasses.replace` to vary it.
 """
 
 from __future__ import annotations
@@ -61,6 +64,14 @@ class RequestClass:
     output_sigma: float = 0.5
     output_min: int = 4
     output_max: int = 1_024
+    #: Leading tokens of every prompt drawn from a class-wide shared prefix
+    #: (a system prompt / conversation context reused across requests) —
+    #: the shared-prefix KV cache turns these into prefix hits.  0 = no
+    #: sharing.  Only meaningful with ``with_token_ids=True``.
+    shared_prefix_tokens: int = 0
+    #: Number of distinct shared prefixes in the class (tenants /
+    #: conversations); each request draws one uniformly.
+    shared_prefix_pool: int = 1
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -74,6 +85,17 @@ class RequestClass:
                     f"class {self.name!r}: need 0 < {label}_min <= {label}_median "
                     f"<= {label}_max, got ({lo}, {mid}, {hi})"
                 )
+        if self.shared_prefix_tokens < 0:
+            raise ValueError(f"class {self.name!r}: shared_prefix_tokens must be >= 0")
+        if self.shared_prefix_tokens >= self.prompt_min:
+            if self.shared_prefix_tokens > 0:
+                raise ValueError(
+                    f"class {self.name!r}: shared_prefix_tokens "
+                    f"({self.shared_prefix_tokens}) must be below prompt_min "
+                    f"({self.prompt_min}) so every prompt has a unique tail"
+                )
+        if self.shared_prefix_pool < 1:
+            raise ValueError(f"class {self.name!r}: shared_prefix_pool must be >= 1")
 
     def max_kv_tokens(self) -> int:
         """Worst-case KV footprint of one request of this class (tokens)."""
@@ -157,6 +179,18 @@ class WorkloadGenerator:
         weights = np.array([c.weight for c in spec.classes], dtype=np.float64)
         class_idx = rng.choice(len(spec.classes), size=n_requests, p=weights / weights.sum())
 
+        # Shared prefixes are drawn once per class from the content stream
+        # (they only exist when token ids are attached; trace structure is
+        # unaffected either way).
+        prefix_pools: dict[int, list[np.ndarray]] = {}
+        if with_token_ids:
+            for ci, cls in enumerate(spec.classes):
+                if cls.shared_prefix_tokens > 0:
+                    prefix_pools[ci] = [
+                        content_rng.integers(0, vocab_size, size=cls.shared_prefix_tokens)
+                        for _ in range(cls.shared_prefix_pool)
+                    ]
+
         requests = []
         for i in range(n_requests):
             cls = spec.classes[class_idx[i]]
@@ -166,11 +200,18 @@ class WorkloadGenerator:
             output = self._lognormal_length(
                 rng, cls.output_median, cls.output_sigma, cls.output_min, cls.output_max
             )
-            token_ids = (
-                tuple(int(t) for t in content_rng.integers(0, vocab_size, size=prompt))
-                if with_token_ids
-                else None
-            )
+            if with_token_ids:
+                pool = prefix_pools.get(int(class_idx[i]))
+                if pool is not None:
+                    prefix_tokens = pool[int(content_rng.integers(0, len(pool)))]
+                    tail = content_rng.integers(0, vocab_size, size=prompt - prefix_tokens.size)
+                    token_ids = tuple(int(t) for t in np.concatenate([prefix_tokens, tail]))
+                else:
+                    token_ids = tuple(
+                        int(t) for t in content_rng.integers(0, vocab_size, size=prompt)
+                    )
+            else:
+                token_ids = None
             requests.append(
                 Request(
                     request_id=f"{prefix}-{i}",
@@ -249,6 +290,49 @@ SCENARIOS: dict[str, WorkloadSpec] = {
                 output_sigma=0.5,
                 output_min=16,
                 output_max=512,
+            ),
+        ),
+    ),
+    "shared_prefix": WorkloadSpec(
+        name="shared_prefix",
+        arrival_process="poisson",
+        arrival_rate_rps=4.0,
+        ttft_slo_s=2.0,
+        tpot_slo_s=0.08,
+        classes=(
+            # Multi-tenant system prompts: each tenant's requests begin with
+            # the same long instruction block, so prefix caching turns the
+            # bulk of every prefill into a hit.
+            RequestClass(
+                name="tenant-chat",
+                weight=3.0,
+                shared_prefix_tokens=1_536,
+                shared_prefix_pool=4,
+                prompt_median=2_048,
+                prompt_sigma=0.4,
+                prompt_min=1_600,
+                prompt_max=6_144,
+                output_median=192,
+                output_sigma=0.6,
+                output_min=8,
+                output_max=1_024,
+            ),
+            # Multi-turn conversations: follow-up turns carry the whole
+            # conversation so far as their prefix (deeper shared context,
+            # fewer distinct conversations).
+            RequestClass(
+                name="follow-up-turn",
+                weight=1.0,
+                shared_prefix_tokens=6_144,
+                shared_prefix_pool=8,
+                prompt_median=7_168,
+                prompt_sigma=0.2,
+                prompt_min=6_400,
+                prompt_max=12_288,
+                output_median=256,
+                output_sigma=0.5,
+                output_min=16,
+                output_max=1_024,
             ),
         ),
     ),

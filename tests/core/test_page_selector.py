@@ -94,6 +94,27 @@ class TestReusablePageSelector:
         reusable.select("seq", q, kmin2, kmax2)
         assert reusable.num_selector_calls == 2
 
+    def test_new_logical_page_forces_reselection(self, rng):
+        """Fresh key stats inside the same physical page must refresh the cache.
+
+        Regression: the cached selection used to be refreshed only when the
+        *physical* page count grew, so tokens landing in a fresh logical page
+        of the same physical page changed kmin/kmax without a refresh.
+        """
+        keys = rng.normal(size=(252, 1, 8))  # 63 logical pages, 16 physical
+        kmin, kmax = stats_from_keys(keys, 4)
+        assert kmin.shape[0] == 63
+        reusable = ReusablePageSelector(make_selector(token_budget=48), reuse_interval=8)
+        q = rng.normal(size=(1, 8))
+        reusable.select("seq", q, kmin, kmax)
+        # Four more tokens: 64 logical pages, physical count still 16.
+        keys2 = np.concatenate([keys, rng.normal(size=(4, 1, 8))])
+        kmin2, kmax2 = stats_from_keys(keys2, 4)
+        assert kmin2.shape[0] == 64
+        assert -(-64 // 4) == -(-63 // 4)  # physical page count unchanged
+        reusable.select("seq", q, kmin2, kmax2)
+        assert reusable.num_selector_calls == 2
+
     def test_per_sequence_caches(self, rng):
         keys = rng.normal(size=(128, 1, 8))
         kmin, kmax = stats_from_keys(keys, 4)

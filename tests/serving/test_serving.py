@@ -1,5 +1,6 @@
 """Tests for the serving framework (requests, scheduler, metrics, front door)."""
 
+import numpy as np
 import pytest
 
 from repro.baselines.systems import lserve_policy, vllm_policy
@@ -231,9 +232,34 @@ class TestMetrics:
         assert metrics.generation_throughput_tokens_s() == pytest.approx(8 / 5)
         assert metrics.percentile_ttft_s(100) == pytest.approx(2.0)
 
-    def test_empty_metrics_raise(self):
-        with pytest.raises(ValueError):
-            ServingMetrics().mean_ttft_s()
+    def test_empty_metrics_report_nan_or_zero(self):
+        """Summary aggregates must not crash when nothing completed.
+
+        A smoke run where everything was rejected (or is still queued) still
+        prints its summary table: means/percentiles report NaN, counters and
+        throughput report 0.  Per-priority-class lookups keep raising — a
+        typo'd class id should error, not read as an empty class.
+        """
+        empty = ServingMetrics()
+        assert np.isnan(empty.mean_ttft_s())
+        assert np.isnan(empty.percentile_ttft_s(99))
+        assert np.isnan(empty.mean_queueing_delay_s())
+        assert np.isnan(empty.slo_attainment(1.0, 0.1))
+        assert empty.percentile_tpot_s(50) == 0.0
+        assert empty.mean_time_per_output_token_s() == 0.0
+        assert empty.total_preemptions() == 0
+        assert empty.total_generated_tokens() == 0
+        assert empty.makespan_s() == 0.0
+        assert empty.generation_throughput_tokens_s() == 0.0
+
+    def test_empty_priority_class_still_raises(self):
+        empty = ServingMetrics()
+        with pytest.raises(ValueError, match="priority class"):
+            empty.mean_ttft_s(priority=3)
+        metrics = ServingMetrics()
+        metrics.add(self.record("a", 0.0, 1.0, 3.0, gen=5))
+        with pytest.raises(ValueError, match="priority class 7"):
+            metrics.percentile_ttft_s(99, priority=7)
 
     def test_mean_tpot_excludes_prefill_only_requests(self):
         metrics = ServingMetrics()

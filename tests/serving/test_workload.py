@@ -154,7 +154,12 @@ class TestGeneratedRequests:
 
 class TestScenarioPresets:
     def test_presets_exist(self):
-        assert set(SCENARIOS) == {"chat", "long_document_qa", "mixed_agentic"}
+        assert set(SCENARIOS) == {
+            "chat",
+            "long_document_qa",
+            "shared_prefix",
+            "mixed_agentic",
+        }
 
     def test_scenario_accessor(self):
         assert scenario("chat") is SCENARIOS["chat"]
