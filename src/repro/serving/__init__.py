@@ -31,6 +31,16 @@ Poisson/bursty request traces from scenario presets (including the
 latency / throughput / SLO attainment are reported through the same
 :class:`~repro.serving.metrics.ServingMetrics` records for every backend and
 policy.
+
+On top of the synchronous front door sits the **async serving layer**
+(:mod:`repro.serving.frontend`): :class:`~repro.serving.frontend.AsyncServingEngine`
+drives the step loop from a background asyncio task, accepts live submissions
+mid-run, streams tokens per request (``async for token in handle.stream()``),
+and supports cancellation and graceful drain/shutdown.
+:class:`~repro.serving.http.CompletionServer` exposes it over dependency-free
+HTTP (OpenAI-style ``POST /v1/completions`` with SSE streaming, plus
+``/healthz`` and ``/metrics`` live gauges), and :mod:`repro.serving.client`
+provides the matching async client and the open-loop trace load generator.
 """
 
 from repro.serving.backend import (
@@ -40,8 +50,15 @@ from repro.serving.backend import (
     SimulatedBackend,
     StepResult,
 )
+from repro.serving.client import CompletionClient, CompletionResult, replay_trace
 from repro.serving.engine import RequestHandle, ServingEngine, StepOutcome
-from repro.serving.metrics import RequestRecord, ServingMetrics
+from repro.serving.frontend import (
+    AsyncRequestHandle,
+    AsyncServingEngine,
+    RequestAborted,
+)
+from repro.serving.http import CompletionServer
+from repro.serving.metrics import LiveGauges, RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
 from repro.serving.sampling import SamplingParams, sample_token
 from repro.serving.scheduler import (
@@ -60,6 +77,7 @@ from repro.serving.workload import (
     RequestClass,
     WorkloadGenerator,
     WorkloadSpec,
+    arrival_offsets,
     scenario,
 )
 
@@ -72,6 +90,14 @@ __all__ = [
     "RequestHandle",
     "ServingEngine",
     "StepOutcome",
+    "AsyncRequestHandle",
+    "AsyncServingEngine",
+    "RequestAborted",
+    "CompletionServer",
+    "CompletionClient",
+    "CompletionResult",
+    "replay_trace",
+    "LiveGauges",
     "Request",
     "RequestState",
     "RequestStatus",
@@ -93,4 +119,5 @@ __all__ = [
     "WorkloadGenerator",
     "SCENARIOS",
     "scenario",
+    "arrival_offsets",
 ]

@@ -109,6 +109,12 @@ class InferenceBackend(Protocol):
     ``True`` when calls return real next-token distributions (requests must
     then carry ``prompt_token_ids``), ``False`` for content-free cost models
     (the serving engine records placeholder tokens and refuses ``generate()``).
+
+    Optionally, a backend may expose ``kv_tokens_in_use() -> int`` reporting
+    the KV tokens it currently materialises across all live sequences; the
+    serving engine surfaces it as the ground-truth occupancy gauge in
+    :meth:`~repro.serving.engine.ServingEngine.live_gauges` (the scheduler's
+    own count is an estimate that excludes shared prefix pages).
     """
 
     work: BackendWork
@@ -213,6 +219,10 @@ class SimulatedBackend:
         self.work.record_decode(len(seq_ids), elapsed)
         return StepResult(logits=None, elapsed_s=elapsed)
 
+    def kv_tokens_in_use(self) -> int:
+        """Modelled KV tokens across all live sequences (live-gauge support)."""
+        return int(sum(self._context.values()))
+
     def release(self, seq_id: object) -> None:
         """Forget the sequence's modelled context length (idempotent)."""
         self._context.pop(seq_id, None)
@@ -254,6 +264,7 @@ class LServeBackend:
         self.latency = latency
         self.prefill_chunk_size = prefill_chunk_size
         self.work = BackendWork()
+        self._live_seq_ids: set = set()
 
     @property
     def stats(self):
@@ -279,6 +290,7 @@ class LServeBackend:
         )
         self.work.record_prefill(computed, elapsed)
         self.work.prefix_hit_tokens += hit
+        self._live_seq_ids.add(seq_id)
         return StepResult(logits=logits[-1], elapsed_s=elapsed, prefix_hit_tokens=hit)
 
     def decode_batch(
@@ -297,6 +309,13 @@ class LServeBackend:
         self.work.record_decode(len(seq_ids), elapsed)
         return StepResult(logits=logits, elapsed_s=elapsed)
 
+    def kv_tokens_in_use(self) -> int:
+        """KV tokens the engine holds across live sequences (live-gauge support)."""
+        return int(
+            sum(self.engine.context_length(s) for s in self._live_seq_ids)
+        )
+
     def release(self, seq_id: object) -> None:
         """Free the engine's KV pages and cached page selections for ``seq_id``."""
+        self._live_seq_ids.discard(seq_id)
         self.engine.release(seq_id)

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.engine import DecodeOutOfPagesError
 from repro.serving.backend import InferenceBackend
-from repro.serving.metrics import RequestRecord, ServingMetrics
+from repro.serving.metrics import LiveGauges, RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
 from repro.serving.sampling import SamplingParams, sample_token
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
@@ -60,8 +60,13 @@ class RequestHandle:
 
     @property
     def finished(self) -> bool:
-        """Whether the request has produced its last token."""
-        return self.state.is_finished
+        """Whether the request is terminal (all tokens produced, or aborted)."""
+        return self.state.is_terminal
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the request was aborted before finishing."""
+        return self.state.is_cancelled
 
     @property
     def seq_id(self) -> str:
@@ -78,6 +83,13 @@ class StepOutcome:
     ``"decode"`` (one decode iteration over the running batch), or ``"idle"``
     (the clock jumped to the next arrival).  ``preempted_ids`` lists requests
     evicted under KV pressure immediately before a decode iteration.
+
+    ``emitted_tokens`` reports every token the step produced, in order, as
+    ``(request_id, token_id)`` pairs — one pair for a prefill (the first
+    token), one per batch member for a decode, none for resume/idle steps
+    (recompute replays previously emitted tokens; it never re-emits them).
+    This is what streaming front ends consume: each step's emissions can be
+    delivered to per-request streams the moment the step returns.
     """
 
     kind: str  # "prefill" | "resume" | "decode" | "idle"
@@ -86,6 +98,7 @@ class StepOutcome:
     request_ids: tuple[str, ...] = ()
     finished_ids: tuple[str, ...] = ()
     preempted_ids: tuple[str, ...] = ()
+    emitted_tokens: tuple[tuple[str, int], ...] = ()
 
 
 class ServingEngine:
@@ -113,6 +126,8 @@ class ServingEngine:
         #: work (e.g. ``work.decode_tokens - recompute_decode_tokens``).
         self.recompute_prefill_tokens = 0
         self.recompute_decode_tokens = 0
+        #: Ids of requests withdrawn via :meth:`abort`, in abort order.
+        self.aborted_ids: list[str] = []
         self._handles: dict[str, RequestHandle] = {}
         self._arrivals: list[Request] = []  # sorted by arrival time (FCFS ties stable)
 
@@ -167,6 +182,52 @@ class ServingEngine:
     def has_work(self) -> bool:
         """Whether any submitted request has not yet finished."""
         return bool(self._arrivals) or self.scheduler.has_work
+
+    def abort(self, request_id: str) -> bool:
+        """Withdraw a request, releasing its backend KV if any is materialised.
+
+        Works from any non-terminal point in the lifecycle: still on the
+        arrivals list, waiting for admission, preempted, or mid-decode (the
+        KV pages it holds are released through the same path preemption uses,
+        so shared prefix pages are decref'd, never pulled out from under a
+        sibling).  Tokens generated so far stay on the handle; no
+        :class:`~repro.serving.metrics.RequestRecord` is emitted (aggregate
+        metrics describe *completed* requests).  Returns ``True`` if the
+        request was live, ``False`` if it had already finished (abort after
+        completion is a no-op, not an error).  Unknown ids raise ``KeyError``.
+        """
+        handle = self._handles[request_id]
+        state = handle.state
+        if state.is_terminal:
+            return False
+        for i, pending in enumerate(self._arrivals):
+            if pending.request_id == request_id:
+                del self._arrivals[i]
+                break
+        else:
+            was_running = self.scheduler.remove(state)
+            if was_running and state.status is RequestStatus.DECODING:
+                self.backend.release(handle.seq_id)
+        state.mark_cancelled(self.clock_s)
+        self.aborted_ids.append(request_id)
+        self.decision_log.append(f"abort:{request_id}")
+        return True
+
+    def live_gauges(self) -> LiveGauges:
+        """Snapshot the engine's instantaneous state (queue/batch/KV gauges)."""
+        backend_kv = getattr(self.backend, "kv_tokens_in_use", None)
+        return LiveGauges(
+            clock_s=self.clock_s,
+            queue_depth=self.scheduler.waiting_count,
+            pending_arrivals=len(self._arrivals),
+            running=len(self.scheduler.running),
+            kv_tokens_in_use=self.scheduler.kv_tokens_in_use(),
+            kv_token_capacity=self.scheduler.config.kv_token_capacity,
+            backend_kv_tokens=backend_kv() if backend_kv is not None else -1,
+            completed=len(self.metrics),
+            aborted=len(self.aborted_ids),
+            preemptions=self.scheduler.total_preemptions,
+        )
 
     # -- the serving loop ---------------------------------------------------------
     def step(self) -> StepOutcome | None:
@@ -271,6 +332,7 @@ class ServingEngine:
             elapsed_s=result.elapsed_s,
             request_ids=(handle.request_id,),
             finished_ids=finished,
+            emitted_tokens=((handle.request_id, handle.output_tokens[-1]),),
         )
 
     def _step_resume(self, state: RequestState) -> StepOutcome:
@@ -336,6 +398,9 @@ class ServingEngine:
             request_ids=tuple(h.request_id for h in handles),
             finished_ids=finished,
             preempted_ids=preempted,
+            emitted_tokens=tuple(
+                (h.request_id, h.output_tokens[-1]) for h in handles
+            ),
         )
 
     def _step_decode_oom(

@@ -5,16 +5,93 @@ backend, measured or modelled time for the real one); all token counts are
 **tokens**.  :class:`RequestRecord` is the per-request timing record emitted
 when a request retires; :class:`ServingMetrics` aggregates them, including
 per-priority-class percentiles and SLO attainment for the scheduling
-benchmarks.
+benchmarks.  :class:`LiveGauges` is the complementary *instantaneous* view —
+queue depth, in-flight batch, KV occupancy — snapshot by
+:meth:`~repro.serving.engine.ServingEngine.live_gauges` and exported by the
+HTTP front end's ``GET /metrics`` endpoint.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-__all__ = ["RequestRecord", "ServingMetrics"]
+__all__ = ["RequestRecord", "ServingMetrics", "LiveGauges"]
+
+
+@dataclass(frozen=True)
+class LiveGauges:
+    """Point-in-time snapshot of a live serving engine.
+
+    Unlike :class:`ServingMetrics` (which aggregates *completed* requests),
+    these gauges describe the system **right now**: how deep the queue is,
+    how many requests are decoding, and how full the KV pool is.  All counts
+    are requests or tokens; ``clock_s`` is the engine's virtual clock.
+
+    * ``queue_depth`` — requests waiting for admission (including preempted
+      requests awaiting re-admission).
+    * ``pending_arrivals`` — submitted requests whose ``arrival_time_s`` is
+      still in the future (trace replay).
+    * ``running`` — requests currently admitted to the decode batch.
+    * ``kv_tokens_in_use`` / ``kv_token_capacity`` — the scheduler's unique-KV
+      accounting against the page pool, in tokens.
+    * ``backend_kv_tokens`` — the backend's own count of materialised KV
+      tokens (ground truth; ``-1`` when the backend does not report one).
+    * ``completed`` / ``aborted`` / ``preemptions`` — lifetime counters.
+    """
+
+    clock_s: float
+    queue_depth: int
+    pending_arrivals: int
+    running: int
+    kv_tokens_in_use: int
+    kv_token_capacity: int
+    backend_kv_tokens: int
+    completed: int
+    aborted: int
+    preemptions: int
+
+    @property
+    def kv_occupancy(self) -> float:
+        """Fraction of the KV token pool in use (0.0–1.0)."""
+        if self.kv_token_capacity <= 0:
+            return 0.0
+        return self.kv_tokens_in_use / self.kv_token_capacity
+
+    @property
+    def in_flight(self) -> int:
+        """Requests the engine is responsible for and has not finished.
+
+        Counts queued (``queue_depth``) **and** not-yet-arrived trace
+        submissions (``pending_arrivals``) **and** the running batch — i.e.
+        everything submitted that will still produce tokens.
+        """
+        return self.queue_depth + self.pending_arrivals + self.running
+
+    def to_dict(self) -> dict:
+        """The gauges as a plain dict (JSON-friendly), derived fields included."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["kv_occupancy"] = self.kv_occupancy
+        out["in_flight"] = self.in_flight
+        return out
+
+    def to_prometheus(self, prefix: str = "repro_serving") -> str:
+        """Render the gauges in the Prometheus text exposition format.
+
+        One ``# TYPE <name> gauge`` + value line per field, served verbatim by
+        the HTTP front end's ``GET /metrics`` endpoint.
+        """
+        lines = []
+        for name, value in self.to_dict().items():
+            metric = f"{prefix}_{name}"
+            # repr/int rendering, not '%g': '%g' keeps 6 significant digits,
+            # which silently corrupts token-count gauges beyond ~1e6.
+            number = float(value)
+            rendered = str(int(number)) if number.is_integer() else repr(number)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {rendered}")
+        return "\n".join(lines) + "\n"
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,10 @@ its mutable serving-side lifecycle, which the scheduler moves through
 ``DECODING -> PREEMPTED -> DECODING`` detour every time the scheduler evicts
 the request under KV pressure (recompute-style preemption: the KV cache is
 released and rebuilt on re-admission, see
-:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`).
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`).  Any
+non-terminal state can transition to ``CANCELLED`` when the caller aborts the
+request (:meth:`~repro.serving.engine.ServingEngine.abort`); cancelled
+requests keep whatever tokens they had already generated.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ class RequestStatus(enum.Enum):
     DECODING = "decoding"
     PREEMPTED = "preempted"
     FINISHED = "finished"
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -156,6 +160,16 @@ class RequestState:
         """Whether the request has produced its last token."""
         return self.status is RequestStatus.FINISHED
 
+    @property
+    def is_cancelled(self) -> bool:
+        """Whether the request was aborted before producing its last token."""
+        return self.status is RequestStatus.CANCELLED
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the request will never produce another token (done or aborted)."""
+        return self.status in (RequestStatus.FINISHED, RequestStatus.CANCELLED)
+
     def record_scheduled(self, now_s: float) -> None:
         """Stamp the first admission time (idempotent across preemptions)."""
         if self.scheduled_time_s is None:
@@ -206,4 +220,16 @@ class RequestState:
         if self.status is not RequestStatus.DECODING:
             raise ValueError(f"cannot finish request in status {self.status}")
         self.status = RequestStatus.FINISHED
+        self.finish_time_s = now_s
+
+    def mark_cancelled(self, now_s: float) -> None:
+        """Abort the request from any non-terminal state (caller cancellation).
+
+        Unlike preemption, cancellation is terminal: the request never re-enters
+        the waiting queue and its generated-so-far tokens are simply what the
+        caller keeps.  The engine owns releasing any backend KV first.
+        """
+        if self.is_terminal:
+            raise ValueError(f"cannot cancel request in status {self.status}")
+        self.status = RequestStatus.CANCELLED
         self.finish_time_s = now_s

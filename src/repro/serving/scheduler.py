@@ -277,6 +277,16 @@ class ContinuousBatchingScheduler:
         return sorted(self._waiting, key=self.policy.admission_key)
 
     @property
+    def waiting_count(self) -> int:
+        """Number of waiting (and preempted) requests, without sorting a copy.
+
+        Gauge/observability paths should use this instead of
+        ``len(scheduler.waiting)`` — the :attr:`waiting` property sorts the
+        whole queue for its admission-order contract.
+        """
+        return len(self._waiting)
+
+    @property
     def running(self) -> list[RequestState]:
         """Requests currently admitted to the running batch."""
         return list(self._running)
@@ -378,6 +388,25 @@ class ContinuousBatchingScheduler:
             self._running.remove(state)
             self._waiting.append(state)
         self._total_preemptions += len(states)
+
+    def remove(self, state: RequestState) -> bool:
+        """Withdraw a request from the scheduler entirely (caller abort).
+
+        Unlike preemption the state does not re-enter the waiting queue —
+        it simply stops being the scheduler's problem.  Returns ``True`` when
+        the request was running (the caller must then release its backend KV)
+        and ``False`` when it was only waiting/preempted (no KV materialised).
+        Raises ``ValueError`` for a request the scheduler does not hold.
+        """
+        if state in self._waiting:
+            self._waiting.remove(state)
+            return False
+        if state in self._running:
+            self._running.remove(state)
+            return True
+        raise ValueError(
+            f"request {state.request.request_id!r} is not waiting or running"
+        )
 
     def retire_finished(self) -> list[RequestState]:
         """Move finished requests out of the running batch, freeing their KV."""

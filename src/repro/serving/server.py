@@ -12,6 +12,8 @@ scripts; new code should construct the engine directly::
 
 from __future__ import annotations
 
+import warnings
+
 from repro.gpu.simulator import LatencySimulator
 from repro.serving.backend import SimulatedBackend
 from repro.serving.engine import ServingEngine
@@ -23,13 +25,30 @@ __all__ = ["ServingSimulator"]
 
 
 class ServingSimulator:
-    """Deprecated alias: simulate serving a set of requests under one policy."""
+    """Deprecated alias: simulate serving a set of requests under one policy.
+
+    .. deprecated::
+        ``ServingSimulator`` is a thin shim over
+        ``ServingEngine(SimulatedBackend(latency), scheduler_config)`` and
+        emits a :class:`DeprecationWarning` on construction.  **Removal
+        horizon: two PRs after the async front end lands** (i.e. the next
+        docs/API-surface pass) — migrate by constructing the engine directly
+        as shown in the module docstring; ``run()`` results are identical.
+    """
 
     def __init__(
         self,
         latency: LatencySimulator,
         scheduler_config: SchedulerConfig | None = None,
     ) -> None:
+        warnings.warn(
+            "ServingSimulator is deprecated and will be removed two PRs after "
+            "the async serving front end (see its docstring); construct "
+            "ServingEngine(SimulatedBackend(latency), scheduler_config) instead "
+            "- run() results are identical.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.latency = latency
         self.scheduler_config = scheduler_config or SchedulerConfig()
 

@@ -40,7 +40,26 @@ __all__ = [
     "WorkloadGenerator",
     "SCENARIOS",
     "scenario",
+    "arrival_offsets",
 ]
+
+
+def arrival_offsets(requests: list[Request], time_scale: float = 1.0) -> list[float]:
+    """Wall-clock submission offsets for open-loop replay of a trace.
+
+    Maps each request's virtual ``arrival_time_s`` to a non-negative offset
+    from the trace's *first* arrival, scaled by ``time_scale`` — an open-loop
+    client sleeps each request's offset and then submits, regardless of
+    whether earlier requests have finished.  ``time_scale=1.0`` replays the
+    trace's arrival process in real time, ``< 1`` compresses it (heavier
+    load), and ``0.0`` degenerates to submit-everything-at-once.
+    """
+    if time_scale < 0:
+        raise ValueError("time_scale must be non-negative")
+    if not requests:
+        return []
+    start = min(r.arrival_time_s for r in requests)
+    return [time_scale * (r.arrival_time_s - start) for r in requests]
 
 
 @dataclass(frozen=True)

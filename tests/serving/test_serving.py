@@ -8,6 +8,7 @@ from repro.gpu.device import A100_80G
 from repro.gpu.simulator import LatencySimulator
 from repro.model.configs import LLAMA_3_8B
 from repro.serving import (
+    LiveGauges,
     Request,
     RequestState,
     RequestStatus,
@@ -374,8 +375,114 @@ class TestServingEngine:
         assert work.total_time_s > 0
 
 
+class TestEmittedTokensAbortAndGauges:
+    """Step-level emissions, caller aborts, and the live-gauge snapshot."""
+
+    def make_engine(self, **sched):
+        sched.setdefault("max_batch_size", 4)
+        sched.setdefault("kv_token_capacity", 600_000)
+        latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+        return ServingEngine(SimulatedBackend(latency), SchedulerConfig(**sched))
+
+    def test_steps_report_emitted_tokens(self):
+        engine = self.make_engine()
+        engine.submit(Request("a", prompt_tokens=1024, max_new_tokens=3))
+        engine.submit(Request("b", prompt_tokens=1024, max_new_tokens=3))
+        emitted = []
+        while (outcome := engine.step()) is not None:
+            emitted.extend(outcome.emitted_tokens)
+            if outcome.kind == "decode":
+                assert len(outcome.emitted_tokens) == len(outcome.request_ids)
+            elif outcome.kind == "prefill":
+                assert len(outcome.emitted_tokens) == 1
+        # One (id, token) pair per generated token, in emission order.
+        assert len(emitted) == 6
+        per_request = {"a": [], "b": []}
+        for rid, token in emitted:
+            per_request[rid].append(token)
+        assert per_request["a"] == engine.handle("a").output_tokens
+        assert per_request["b"] == engine.handle("b").output_tokens
+
+    def test_abort_running_request_releases_backend_kv(self):
+        engine = self.make_engine()
+        engine.submit(Request("a", prompt_tokens=1024, max_new_tokens=1_000))
+        engine.submit(Request("b", prompt_tokens=1024, max_new_tokens=4))
+        for _ in range(4):
+            engine.step()
+        assert engine.backend.kv_tokens_in_use() > 1024  # both prefilled
+        assert engine.abort("a") is True
+        handle = engine.handle("a")
+        assert handle.cancelled and handle.finished
+        assert "abort:a" in engine.decision_log
+        engine.run_until_complete()
+        assert engine.backend.kv_tokens_in_use() == 0
+        assert len(engine.metrics) == 1  # no record for the aborted request
+        assert engine.aborted_ids == ["a"]
+        # Terminal abort is a no-op; unknown ids raise.
+        assert engine.abort("a") is False
+        with pytest.raises(KeyError):
+            engine.abort("zzz")
+
+    def test_abort_waiting_request_needs_no_release(self):
+        engine = self.make_engine(max_batch_size=1)
+        engine.submit(Request("a", prompt_tokens=1024, max_new_tokens=8))
+        engine.submit(Request("b", prompt_tokens=1024, max_new_tokens=8))
+        engine.step()  # admit + prefill "a"; "b" stays waiting
+        assert engine.abort("b") is True
+        metrics = engine.run_until_complete()
+        assert len(metrics) == 1
+        assert engine.handle("b").output_tokens == []
+
+    def test_live_gauges_track_queue_batch_and_kv(self):
+        engine = self.make_engine(max_batch_size=1, kv_token_capacity=4096)
+        engine.submit(Request("a", prompt_tokens=1024, max_new_tokens=8))
+        engine.submit(Request("b", prompt_tokens=1024, max_new_tokens=8))
+        engine.submit(
+            Request("c", prompt_tokens=1024, max_new_tokens=8, arrival_time_s=1e9)
+        )
+        gauges = engine.live_gauges()
+        assert gauges.queue_depth == 0 and gauges.running == 0
+        assert gauges.pending_arrivals == 3  # nothing admitted before the first step
+        engine.step()  # admits + prefills "a"
+        gauges = engine.live_gauges()
+        assert gauges.running == 1
+        assert gauges.queue_depth == 1  # "b" waiting behind batch_size=1
+        assert gauges.pending_arrivals == 1  # "c" arrives at t=1e9
+        # Scheduler charges prompt + the sampled first token; the backend has
+        # only materialised the prompt (the token's KV lands at next decode).
+        assert gauges.kv_tokens_in_use == 1024 + 1
+        assert gauges.backend_kv_tokens == 1024
+        assert gauges.kv_token_capacity == 4096
+        assert 0.0 < gauges.kv_occupancy < 1.0
+        assert gauges.in_flight == 3
+        rendered = gauges.to_prometheus()
+        assert "# TYPE repro_serving_queue_depth gauge" in rendered
+        assert "repro_serving_running 1" in rendered
+        dict_view = gauges.to_dict()
+        assert dict_view["kv_occupancy"] == pytest.approx(gauges.kv_occupancy)
+
+    def test_prometheus_rendering_keeps_large_counts_exact(self):
+        """Token-count gauges beyond 1e6 must not lose digits ('%g' would)."""
+        big = LiveGauges(
+            clock_s=0.0, queue_depth=0, pending_arrivals=0, running=0,
+            kv_tokens_in_use=1_048_575, kv_token_capacity=1_048_576,
+            backend_kv_tokens=-1, completed=10_000_001, aborted=0, preemptions=0,
+        )
+        rendered = big.to_prometheus()
+        assert "repro_serving_kv_tokens_in_use 1048575" in rendered
+        assert "repro_serving_kv_token_capacity 1048576" in rendered
+        assert "repro_serving_completed 10000001" in rendered
+
+
 class TestServingSimulatorShim:
-    """The legacy one-shot wrapper is one configuration of ServingEngine."""
+    """The legacy one-shot wrapper: deprecated, but still run-equivalent."""
+
+    def test_construction_warns_deprecation(self):
+        latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+        with pytest.warns(DeprecationWarning, match="ServingSimulator is deprecated"):
+            ServingSimulator(latency)
+        # The docstring states the removal horizon for migrating callers.
+        assert "Removal" in ServingSimulator.__doc__ or "removed" in ServingSimulator.__doc__
 
     def test_run_matches_serving_engine(self):
         latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
@@ -383,7 +490,8 @@ class TestServingSimulatorShim:
         reqs = [
             Request(f"r{i}", prompt_tokens=32_768, max_new_tokens=16) for i in range(3)
         ]
-        shim = ServingSimulator(latency, config).run(reqs)
+        with pytest.warns(DeprecationWarning):
+            shim = ServingSimulator(latency, config).run(reqs)
         direct = ServingEngine(SimulatedBackend(latency), config).run(reqs)
         assert len(shim) == len(direct) == 3
         for a, b in zip(shim.records, direct.records):
