@@ -41,6 +41,15 @@ and supports cancellation and graceful drain/shutdown.
 HTTP (OpenAI-style ``POST /v1/completions`` with SSE streaming, plus
 ``/healthz`` and ``/metrics`` live gauges), and :mod:`repro.serving.client`
 provides the matching async client and the open-loop trace load generator.
+
+Horizontal scale-out lives in :mod:`repro.serving.cluster`:
+:class:`~repro.serving.cluster.ServingCluster` routes requests across N
+independent engine replicas under pluggable routing policies
+(``round_robin`` / ``least_kv`` / ``prefix_affinity``), quarantines failed
+replicas and resubmits their in-flight requests with byte-identical streams,
+and merges per-replica metrics into fleet-wide
+:class:`~repro.serving.cluster.ClusterMetrics` — servable over the same
+HTTP front end.
 """
 
 from repro.serving.backend import (
@@ -51,6 +60,20 @@ from repro.serving.backend import (
     StepResult,
 )
 from repro.serving.client import CompletionClient, CompletionResult, replay_trace
+from repro.serving.cluster import (
+    ROUTING_POLICIES,
+    ClusterMetrics,
+    ClusterRequestHandle,
+    LeastKVPolicy,
+    PrefixAffinityPolicy,
+    Replica,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    ServingCluster,
+    make_routing_policy,
+    merge_live_gauges,
+    render_cluster_prometheus,
+)
 from repro.serving.engine import RequestHandle, ServingEngine, StepOutcome
 from repro.serving.frontend import (
     AsyncRequestHandle,
@@ -71,7 +94,6 @@ from repro.serving.scheduler import (
     ShortestPromptFirstPolicy,
     make_policy,
 )
-from repro.serving.server import ServingSimulator
 from repro.serving.workload import (
     SCENARIOS,
     RequestClass,
@@ -93,6 +115,18 @@ __all__ = [
     "AsyncRequestHandle",
     "AsyncServingEngine",
     "RequestAborted",
+    "ServingCluster",
+    "ClusterRequestHandle",
+    "Replica",
+    "ClusterMetrics",
+    "merge_live_gauges",
+    "render_cluster_prometheus",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastKVPolicy",
+    "PrefixAffinityPolicy",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
     "CompletionServer",
     "CompletionClient",
     "CompletionResult",
@@ -113,7 +147,6 @@ __all__ = [
     "sample_token",
     "ServingMetrics",
     "RequestRecord",
-    "ServingSimulator",
     "WorkloadSpec",
     "RequestClass",
     "WorkloadGenerator",

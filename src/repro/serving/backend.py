@@ -138,7 +138,7 @@ class InferenceBackend(Protocol):
 class SimulatedBackend:
     """Cost-model backend: bills modelled GPU time, produces no logits.
 
-    This is the old ``ServingSimulator`` behaviour re-expressed as one
+    This is the original cost-model-only serving loop re-expressed as one
     configuration of the backend API: prefill is billed the modelled
     time-to-first-token of the prompt, a decode iteration is billed the
     modelled step latency at the longest context in the batch.

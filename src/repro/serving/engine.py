@@ -216,17 +216,21 @@ class ServingEngine:
     def live_gauges(self) -> LiveGauges:
         """Snapshot the engine's instantaneous state (queue/batch/KV gauges)."""
         backend_kv = getattr(self.backend, "kv_tokens_in_use", None)
+        kv_in_use = self.scheduler.kv_tokens_in_use()
         return LiveGauges(
             clock_s=self.clock_s,
             queue_depth=self.scheduler.waiting_count,
             pending_arrivals=len(self._arrivals),
             running=len(self.scheduler.running),
-            kv_tokens_in_use=self.scheduler.kv_tokens_in_use(),
+            kv_tokens_in_use=kv_in_use,
             kv_token_capacity=self.scheduler.config.kv_token_capacity,
             backend_kv_tokens=backend_kv() if backend_kv is not None else -1,
             completed=len(self.metrics),
             aborted=len(self.aborted_ids),
             preemptions=self.scheduler.total_preemptions,
+            kv_tokens_demand=kv_in_use
+            + self.scheduler.kv_tokens_waiting()
+            + sum(r.prompt_tokens for r in self._arrivals),
         )
 
     # -- the serving loop ---------------------------------------------------------

@@ -86,6 +86,11 @@ class AsyncRequestHandle:
         return self._sync.request_id
 
     @property
+    def request(self) -> Request:
+        """The immutable request this handle tracks."""
+        return self._sync.request
+
+    @property
     def output_tokens(self) -> list[int]:
         """Tokens generated so far (a snapshot copy)."""
         return list(self._sync.output_tokens)
@@ -293,9 +298,29 @@ class AsyncServingEngine:
         """Aggregate metrics over completed requests (same as the batch API)."""
         return self.engine.metrics
 
+    @property
+    def default_sampling(self) -> SamplingParams:
+        """The engine-wide sampling default (used when a request carries none)."""
+        return self.engine.default_sampling
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The exception that killed the drive loop, or ``None`` while healthy.
+
+        A failed engine has terminated every live stream and refuses new
+        submissions; ``drain()``/``shutdown()`` re-raise this exception.  A
+        :class:`~repro.serving.cluster.ServingCluster` uses it to tell a
+        replica failure apart from an ordinary cancellation.
+        """
+        return self._failure
+
     def live_gauges(self) -> LiveGauges:
         """Instantaneous queue/batch/KV gauges (see :class:`LiveGauges`)."""
         return self.engine.live_gauges()
+
+    def prometheus_metrics(self) -> str:
+        """The live gauges in Prometheus text format (the ``/metrics`` body)."""
+        return self.live_gauges().to_prometheus()
 
     # -- the drive loop ----------------------------------------------------------
     async def _drive(self) -> None:

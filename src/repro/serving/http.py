@@ -15,6 +15,15 @@ third-party packages.  Endpoints:
 * ``GET /metrics`` — the engine's :class:`~repro.serving.metrics.LiveGauges`
   in the Prometheus text exposition format.
 
+The server speaks to anything with the async-engine surface —
+``start()`` / ``submit(request, arrive_now=True)`` / ``live_gauges()`` /
+``prometheus_metrics()`` / ``default_sampling`` — which today means a single
+:class:`AsyncServingEngine` or a whole
+:class:`~repro.serving.cluster.ServingCluster`.  Serving a cluster adds
+per-replica labelled series to ``/metrics`` and a ``replicas`` health map to
+``/healthz``; completions are routed by the cluster's policy, invisibly to
+the client.
+
 Every connection serves one request and closes (``Connection: close``) —
 open-loop load generators should open one connection per request, which is
 what :mod:`repro.serving.client` does.  A client that disconnects mid-stream
@@ -47,7 +56,7 @@ class _BadRequest(Exception):
 
 
 class CompletionServer:
-    """Serve an :class:`AsyncServingEngine` over HTTP (see module docstring).
+    """Serve an :class:`AsyncServingEngine` or a cluster over HTTP (see module docstring).
 
     ``port=0`` binds an ephemeral port; read :attr:`port` after :meth:`start`.
     ``tokenizer`` (optional, e.g. :class:`~repro.model.tokenizer.ToyTokenizer`)
@@ -113,13 +122,18 @@ class CompletionServer:
                 return
             method, path, body = parsed
             if path == "/healthz" and method == "GET":
-                await self._respond_json(writer, 200, self._healthz())
+                health = self._healthz()
+                # Probes key on the status code: a fleet that cannot serve
+                # (every replica quarantined) must fail the check, not 200.
+                await self._respond_json(
+                    writer, 200 if health["status"] == "ok" else 503, health
+                )
             elif path == "/metrics" and method == "GET":
                 await self._respond(
                     writer,
                     200,
                     "text/plain; version=0.0.4",
-                    self.engine.live_gauges().to_prometheus().encode(),
+                    self.engine.prometheus_metrics().encode(),
                 )
             elif path == "/v1/completions" and method == "POST":
                 await self._completions(writer, body)
@@ -169,7 +183,7 @@ class CompletionServer:
     # -- endpoints ----------------------------------------------------------------
     def _healthz(self) -> dict:
         gauges = self.engine.live_gauges()
-        return {
+        body = {
             "status": "ok",
             "in_flight": gauges.in_flight,
             "running": gauges.running,
@@ -177,6 +191,15 @@ class CompletionServer:
             "kv_occupancy": gauges.kv_occupancy,
             "clock_s": gauges.clock_s,
         }
+        # Cluster engines expose per-replica health; a fleet with quarantined
+        # replicas still answers "ok" as long as it can serve.
+        replica_health = getattr(self.engine, "replica_health", None)
+        if replica_health is not None:
+            replicas = replica_health()
+            body["replicas"] = replicas
+            if not any(replicas.values()):
+                body["status"] = "unhealthy"
+        return body
 
     async def _completions(self, writer: asyncio.StreamWriter, body: bytes) -> None:
         request, stream = self._parse_completion(body)
@@ -260,7 +283,7 @@ class CompletionServer:
         Stop tokens resolve the way the engine samples them: the request's
         own ``SamplingParams`` when set, the engine default otherwise.
         """
-        params = handle._sync.request.sampling or self.engine.engine.default_sampling
+        params = handle.request.sampling or self.engine.default_sampling
         if handle.cancelled:
             return "aborted"
         if tokens and params.is_stop(tokens[-1]):
@@ -275,7 +298,7 @@ class CompletionServer:
         }
         if self.tokenizer is not None:
             choice["text"] = self.tokenizer.decode(tokens)
-        prompt_tokens = handle._sync.request.prompt_tokens
+        prompt_tokens = handle.request.prompt_tokens
         return {
             "id": handle.request_id,
             "object": "text_completion",

@@ -17,7 +17,18 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-__all__ = ["RequestRecord", "ServingMetrics", "LiveGauges"]
+__all__ = ["RequestRecord", "ServingMetrics", "LiveGauges", "render_gauge_value"]
+
+
+def render_gauge_value(value) -> str:
+    """Exact Prometheus text rendering of one gauge sample.
+
+    Integral values render as plain ints and everything else through
+    ``repr`` — '%g'-style formatting keeps only 6 significant digits, which
+    silently corrupts token-count gauges beyond ~1e6.
+    """
+    number = float(value)
+    return str(int(number)) if number.is_integer() else repr(number)
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,11 @@ class LiveGauges:
     * ``running`` — requests currently admitted to the decode batch.
     * ``kv_tokens_in_use`` / ``kv_token_capacity`` — the scheduler's unique-KV
       accounting against the page pool, in tokens.
+    * ``kv_tokens_demand`` — outstanding KV demand: tokens materialised plus
+      the tokens every waiting/preempted/pending request will materialise on
+      admission (prompt + generated-so-far).  A size-aware load signal —
+      two replicas with the same queue *depth* can differ by orders of
+      magnitude here; cluster routing's ``least_kv`` policy keys on it.
     * ``backend_kv_tokens`` — the backend's own count of materialised KV
       tokens (ground truth; ``-1`` when the backend does not report one).
     * ``completed`` / ``aborted`` / ``preemptions`` — lifetime counters.
@@ -51,6 +67,7 @@ class LiveGauges:
     completed: int
     aborted: int
     preemptions: int
+    kv_tokens_demand: int = 0
 
     @property
     def kv_occupancy(self) -> float:
@@ -85,12 +102,8 @@ class LiveGauges:
         lines = []
         for name, value in self.to_dict().items():
             metric = f"{prefix}_{name}"
-            # repr/int rendering, not '%g': '%g' keeps 6 significant digits,
-            # which silently corrupts token-count gauges beyond ~1e6.
-            number = float(value)
-            rendered = str(int(number)) if number.is_integer() else repr(number)
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {rendered}")
+            lines.append(f"{metric} {render_gauge_value(value)}")
         return "\n".join(lines) + "\n"
 
 

@@ -310,6 +310,17 @@ class ContinuousBatchingScheduler:
         """KV tokens currently materialised by running requests."""
         return sum(s.context_length for s in self._running)
 
+    def kv_tokens_waiting(self) -> int:
+        """KV tokens the waiting (and preempted) requests will materialise.
+
+        The admission-time footprint of everything queued — prompt plus
+        already-generated tokens for preempted requests.  Together with
+        :meth:`kv_tokens_in_use` this is the scheduler's outstanding KV
+        demand, the size-aware load signal
+        :class:`~repro.serving.metrics.LiveGauges` exports for routing.
+        """
+        return sum(s.resume_kv_tokens for s in self._waiting)
+
     # -- admission --------------------------------------------------------------
     def schedule_prefill(self) -> RequestState | None:
         """Pop the next admissible waiting request (to be prefilled), if any.

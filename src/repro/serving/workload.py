@@ -91,6 +91,12 @@ class RequestClass:
     #: Number of distinct shared prefixes in the class (tenants /
     #: conversations); each request draws one uniformly.
     shared_prefix_pool: int = 1
+    #: Zipf skew of the tenant draw: 0.0 (default) keeps the uniform draw,
+    #: ``alpha > 0`` weights tenant ``k`` (1-indexed) proportionally to
+    #: ``k ** -alpha`` — a few hot tenants dominate the traffic, the regime
+    #: where prefix-affinity routing and load-aware routing pull in opposite
+    #: directions (the hot tenant's replica saturates).
+    shared_prefix_zipf_alpha: float = 0.0
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -115,6 +121,11 @@ class RequestClass:
                 )
         if self.shared_prefix_pool < 1:
             raise ValueError(f"class {self.name!r}: shared_prefix_pool must be >= 1")
+        if self.shared_prefix_zipf_alpha < 0:
+            raise ValueError(
+                f"class {self.name!r}: shared_prefix_zipf_alpha must be >= 0 "
+                "(0 = uniform tenant draw)"
+            )
 
     def max_kv_tokens(self) -> int:
         """Worst-case KV footprint of one request of this class (tokens)."""
@@ -200,15 +211,23 @@ class WorkloadGenerator:
 
         # Shared prefixes are drawn once per class from the content stream
         # (they only exist when token ids are attached; trace structure is
-        # unaffected either way).
-        prefix_pools: dict[int, list[np.ndarray]] = {}
+        # unaffected either way).  Each entry is (pool, tenant_probs) where
+        # tenant_probs is None for the uniform draw (the pre-Zipf behaviour,
+        # kept bit-identical) or the Zipf popularity weights.
+        prefix_pools: dict[int, tuple[list[np.ndarray], np.ndarray | None]] = {}
         if with_token_ids:
             for ci, cls in enumerate(spec.classes):
                 if cls.shared_prefix_tokens > 0:
-                    prefix_pools[ci] = [
+                    pool = [
                         content_rng.integers(0, vocab_size, size=cls.shared_prefix_tokens)
                         for _ in range(cls.shared_prefix_pool)
                     ]
+                    probs = None
+                    if cls.shared_prefix_zipf_alpha > 0:
+                        ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+                        weights_z = ranks ** -cls.shared_prefix_zipf_alpha
+                        probs = weights_z / weights_z.sum()
+                    prefix_pools[ci] = (pool, probs)
 
         requests = []
         for i in range(n_requests):
@@ -220,9 +239,14 @@ class WorkloadGenerator:
                 rng, cls.output_median, cls.output_sigma, cls.output_min, cls.output_max
             )
             if with_token_ids:
-                pool = prefix_pools.get(int(class_idx[i]))
-                if pool is not None:
-                    prefix_tokens = pool[int(content_rng.integers(0, len(pool)))]
+                pooled = prefix_pools.get(int(class_idx[i]))
+                if pooled is not None:
+                    pool, probs = pooled
+                    if probs is None:
+                        tenant = int(content_rng.integers(0, len(pool)))
+                    else:
+                        tenant = int(content_rng.choice(len(pool), p=probs))
+                    prefix_tokens = pool[tenant]
                     tail = content_rng.integers(0, vocab_size, size=prompt - prefix_tokens.size)
                     token_ids = tuple(int(t) for t in np.concatenate([prefix_tokens, tail]))
                 else:

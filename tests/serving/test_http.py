@@ -280,3 +280,76 @@ class TestDisconnect:
         assert aborted == ["cmpl-1"]
         assert gauges.running == 0
         assert gauges.backend_kv_tokens == 0  # no pages left behind
+
+
+class TestClusterOverHTTP:
+    """The same HTTP front end serving a whole ServingCluster."""
+
+    def serve_cluster(self, model, coro_factory, n_replicas=2, routing="round_robin"):
+        from repro.serving import ServingCluster
+
+        async def main():
+            cluster = ServingCluster(
+                [make_backend(model) for _ in range(n_replicas)],
+                SchedulerConfig(max_batch_size=4),
+                routing=routing,
+            )
+            async with cluster:
+                async with CompletionServer(cluster, port=0) as server:
+                    client = CompletionClient(server.host, server.port)
+                    result = await coro_factory(server, client, cluster)
+                await cluster.drain()
+            return result
+
+        return asyncio.run(main())
+
+    def test_completions_route_through_the_cluster(self, model):
+        async def scenario(server, client, cluster):
+            results = [
+                await client.complete(prompt(model, i), max_tokens=4) for i in range(4)
+            ]
+            return results, cluster.metrics.completed_per_replica()
+
+        results, per_replica = self.serve_cluster(model, scenario)
+        assert all(r.ok and len(r.token_ids) == 4 for r in results)
+        # Round robin: both replicas served some of the traffic.
+        assert sorted(per_replica.values()) == [2, 2]
+
+    def test_streamed_tokens_match_single_engine(self, model):
+        ids = prompt(model, 3)
+        reference = ServingEngine(make_backend(model)).generate(
+            np.array(ids), max_new_tokens=6
+        )
+
+        async def scenario(server, client, cluster):
+            return await client.complete(ids, max_tokens=6, stream=True)
+
+        result = self.serve_cluster(model, scenario)
+        assert result.token_ids == reference
+
+    def test_metrics_endpoint_exposes_replica_series(self, model):
+        async def scenario(server, client, cluster):
+            await client.complete(prompt(model, 0), max_tokens=4)
+            return await client.metrics(), await client.healthz()
+
+        text, health = self.serve_cluster(model, scenario)
+        assert "repro_cluster_completed 1" in text
+        assert '# TYPE repro_serving_completed gauge' in text
+        assert 'repro_serving_completed{replica="replica-0"}' in text
+        assert 'repro_serving_healthy{replica="replica-1"} 1' in text
+        assert health["status"] == "ok"
+        assert health["replicas"] == {"replica-0": True, "replica-1": True}
+
+    def test_healthz_returns_503_when_no_replica_can_serve(self, model):
+        async def scenario(server, client, cluster):
+            for replica in cluster.replicas:
+                replica.healthy = False
+            status, body = await client._call("GET", "/healthz")
+            for replica in cluster.replicas:
+                replica.healthy = True  # let serve_cluster drain normally
+            return status, json.loads(body)
+
+        status, body = self.serve_cluster(model, scenario)
+        assert status == 503
+        assert body["status"] == "unhealthy"
+        assert body["replicas"] == {"replica-0": False, "replica-1": False}

@@ -20,7 +20,6 @@ from repro.serving import (
 )
 from repro.serving.metrics import RequestRecord
 from repro.serving.scheduler import ContinuousBatchingScheduler
-from repro.serving.server import ServingSimulator
 
 
 class TestRequest:
@@ -474,25 +473,15 @@ class TestEmittedTokensAbortAndGauges:
         assert "repro_serving_completed 10000001" in rendered
 
 
-class TestServingSimulatorShim:
-    """The legacy one-shot wrapper: deprecated, but still run-equivalent."""
+class TestServingSimulatorRemoved:
+    """The deprecated one-shot shim reached its removal horizon in this PR."""
 
-    def test_construction_warns_deprecation(self):
-        latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
-        with pytest.warns(DeprecationWarning, match="ServingSimulator is deprecated"):
-            ServingSimulator(latency)
-        # The docstring states the removal horizon for migrating callers.
-        assert "Removal" in ServingSimulator.__doc__ or "removed" in ServingSimulator.__doc__
+    def test_shim_module_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.serving.server import ServingSimulator  # noqa: F401
 
-    def test_run_matches_serving_engine(self):
-        latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
-        config = SchedulerConfig(max_batch_size=4, kv_token_capacity=600_000)
-        reqs = [
-            Request(f"r{i}", prompt_tokens=32_768, max_new_tokens=16) for i in range(3)
-        ]
-        with pytest.warns(DeprecationWarning):
-            shim = ServingSimulator(latency, config).run(reqs)
-        direct = ServingEngine(SimulatedBackend(latency), config).run(reqs)
-        assert len(shim) == len(direct) == 3
-        for a, b in zip(shim.records, direct.records):
-            assert a == b
+    def test_symbol_not_exported(self):
+        import repro.serving as serving
+
+        assert "ServingSimulator" not in serving.__all__
+        assert not hasattr(serving, "ServingSimulator")

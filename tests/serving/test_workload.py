@@ -179,3 +179,69 @@ class TestScenarioPresets:
     def test_long_document_qa_is_long_context(self):
         reqs = WorkloadGenerator(scenario("long_document_qa"), seed=0).generate(50)
         assert min(r.prompt_tokens for r in reqs) >= 16_384
+
+
+class TestZipfTenantSkew:
+    def shared_spec(self, alpha):
+        return simple_spec(
+            classes=(
+                RequestClass(
+                    name="tenants",
+                    shared_prefix_tokens=64,
+                    shared_prefix_pool=8,
+                    shared_prefix_zipf_alpha=alpha,
+                    prompt_median=128,
+                    prompt_min=96,
+                    prompt_max=256,
+                ),
+            )
+        )
+
+    @staticmethod
+    def tenant_counts(requests):
+        prefixes = {}
+        for r in requests:
+            prefixes.setdefault(r.prompt_token_ids[:64], 0)
+            prefixes[r.prompt_token_ids[:64]] += 1
+        return sorted(prefixes.values(), reverse=True)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError, match="shared_prefix_zipf_alpha"):
+            RequestClass(
+                name="bad",
+                shared_prefix_tokens=16,
+                prompt_min=32,
+                shared_prefix_zipf_alpha=-0.5,
+            )
+
+    def test_zero_alpha_draws_roughly_uniform(self):
+        requests = WorkloadGenerator(self.shared_spec(0.0), seed=3).generate(
+            400, with_token_ids=True
+        )
+        counts = self.tenant_counts(requests)
+        assert len(counts) == 8
+        assert counts[0] < 2 * counts[-1]  # no tenant dominates
+
+    def test_high_alpha_concentrates_on_hot_tenants(self):
+        requests = WorkloadGenerator(self.shared_spec(2.0), seed=3).generate(
+            400, with_token_ids=True
+        )
+        counts = self.tenant_counts(requests)
+        # The hottest tenant takes the majority of the traffic under alpha=2.
+        assert counts[0] > 200
+        assert counts[0] > 5 * counts[2]
+
+    def test_skewed_draw_is_deterministic(self):
+        a = WorkloadGenerator(self.shared_spec(1.5), seed=9).generate(
+            50, with_token_ids=True
+        )
+        b = WorkloadGenerator(self.shared_spec(1.5), seed=9).generate(
+            50, with_token_ids=True
+        )
+        assert [r.prompt_token_ids for r in a] == [r.prompt_token_ids for r in b]
+
+    def test_trace_structure_unchanged_by_alpha(self):
+        uniform = WorkloadGenerator(self.shared_spec(0.0), seed=5).generate(40)
+        skewed = WorkloadGenerator(self.shared_spec(3.0), seed=5).generate(40)
+        assert [r.arrival_time_s for r in uniform] == [r.arrival_time_s for r in skewed]
+        assert [r.prompt_tokens for r in uniform] == [r.prompt_tokens for r in skewed]
