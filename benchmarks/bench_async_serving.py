@@ -43,9 +43,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.baselines.systems import lserve_policy
 from repro.core.config import LServeConfig
 from repro.core.engine import LServeEngine
-from repro.model.configs import tiny_model_config
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B, tiny_model_config
 from repro.model.transformer import TinyTransformer
 from repro.serving import (
     AsyncServingEngine,
@@ -97,6 +100,12 @@ SCHED = SchedulerConfig(
 )
 
 
+#: Bill backend time from the GPU cost model rather than measured wall-clock.
+#: Wall-clock billing made the baseline's virtual-clock ordering — and with it
+#: the preemption count the run asserts on — machine- and load-dependent.
+LATENCY = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+
+
 def make_backend(model: TinyTransformer) -> LServeBackend:
     engine = LServeEngine(
         model,
@@ -115,7 +124,7 @@ def make_backend(model: TinyTransformer) -> LServeBackend:
         streaming_kv_heads=STREAMING_MASK,
         num_cache_pages=512,
     )
-    return LServeBackend(engine)
+    return LServeBackend(engine, latency=LATENCY)
 
 
 def make_trace(model: TinyTransformer, n_requests: int, seed: int):

@@ -34,7 +34,7 @@ from repro.core.unified_sparse_attention import (
     prefill_sparse_attention,
 )
 from repro.kvcache.allocator import OutOfPagesError
-from repro.kvcache.dual_cache import DualPagedKVCache
+from repro.kvcache.dual_cache import DualPagedKVCache, DualSequenceExport
 from repro.kvcache.paged_cache import PagedCacheConfig
 from repro.kvcache.prefix_index import PrefixIndex
 from repro.model.transformer import TinyTransformer, rms_norm, silu
@@ -228,6 +228,40 @@ class LServeEngine:
     def context_length(self, seq_id: object) -> int:
         """Tokens currently held in the KV cache for ``seq_id``."""
         return self.cache.seq_len(seq_id)
+
+    def handoff_out(self, seq_id: object) -> DualSequenceExport:
+        """Export a sequence's KV state for migration and release it locally.
+
+        The snapshot carries bit-exact dense page images (stored values are
+        post-quantization while key stats fold raw keys, so replaying tokens
+        on the target would diverge — images are the unit of migration) plus
+        cloned streaming stores.  The local copy is then released: every
+        dense page is decref'd, so refcounts drop to zero and the pages free
+        unless the prefix index still pins them.  A second hand-off of the
+        same sequence raises ``KeyError`` (the sequence is gone).
+        """
+        export = self.cache.export_sequence(seq_id)
+        self.release(seq_id)
+        return export
+
+    def handoff_in(self, seq_id: object, export: DualSequenceExport) -> int:
+        """Install a migrated sequence on this engine's pool; returns pages attached.
+
+        Fresh pages are allocated (refcount 1 each — the target-side attach)
+        and the images bit-copied, so subsequent decode steps are numerically
+        identical to a run that had prefilled here.  When the pool is tight,
+        prefix-index pages are evicted first, mirroring the prefill
+        reservation path.  The selector starts cold for the sequence, exactly
+        as it would after a local prefill.
+        """
+        dense = self.cache.dense_cache
+        if (
+            dense is not None
+            and not dense.allocator.can_allocate(export.n_pages)
+            and self.prefix_cache is not None
+        ):
+            self.prefix_cache.evict_until(export.n_pages)
+        return self.cache.import_sequence(seq_id, export)
 
     # -- serving entry points ------------------------------------------------------
     def prefill(

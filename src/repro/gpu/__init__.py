@@ -13,7 +13,7 @@ from repro.gpu.kernels import (
     KernelCostModel,
     bandwidth_utilization,
 )
-from repro.gpu.cost_model import StageBreakdown, SystemCostModel
+from repro.gpu.cost_model import StageBreakdown, SystemCostModel, TransferCostModel
 from repro.gpu.simulator import LatencySimulator, OutOfMemoryError
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "bandwidth_utilization",
     "StageBreakdown",
     "SystemCostModel",
+    "TransferCostModel",
     "LatencySimulator",
     "OutOfMemoryError",
 ]

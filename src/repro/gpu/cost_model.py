@@ -18,7 +18,72 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.kernels import KernelCostModel
 from repro.model.configs import ModelConfig
 
-__all__ = ["StageBreakdown", "SystemCostModel"]
+__all__ = ["StageBreakdown", "SystemCostModel", "TransferCostModel"]
+
+
+@dataclass(frozen=True)
+class TransferCostModel:
+    """Cost of migrating KV-cache pages between replicas over a finite link.
+
+    First-principles model of the prefill→decode KV hand-off in a
+    disaggregated cluster (DistServe/Mooncake style): the payload is the
+    page images themselves — ``pages × page_size × layers × heads × head_dim
+    × 2 (K and V) × dtype width`` bytes — and the latency is a fixed
+    per-transfer setup cost plus the serialisation time over the link:
+
+    ``latency = base_latency_s + bytes / bandwidth_bytes_per_s``
+
+    A zero-page transfer costs only the base latency (the control-plane
+    round trip still happens).  Defaults approximate a NVLink-class
+    intra-node link; drop ``bandwidth_bytes_per_s`` to ~2e10 for PCIe or
+    ~1e10 for a 100 GbE fabric.
+    """
+
+    bandwidth_bytes_per_s: float = 6.4e10
+    base_latency_s: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth_bytes_per_s must be positive")
+        if self.base_latency_s < 0:
+            raise ValueError("base_latency_s must be non-negative")
+
+    def page_bytes(
+        self, page_size: int, n_layers: int, n_kv_heads: int, head_dim: int, kv_bits: int
+    ) -> float:
+        """Wire bytes of one physical KV page (K and V, all layers)."""
+        if min(page_size, n_layers, n_kv_heads, head_dim, kv_bits) <= 0:
+            raise ValueError("page geometry must be positive")
+        return page_size * n_layers * n_kv_heads * head_dim * 2 * (kv_bits / 8.0)
+
+    def transfer_bytes(
+        self,
+        n_pages: int,
+        page_size: int,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        kv_bits: int,
+    ) -> float:
+        """Total wire bytes of migrating ``n_pages`` physical pages."""
+        if n_pages < 0:
+            raise ValueError("n_pages must be non-negative")
+        return n_pages * self.page_bytes(page_size, n_layers, n_kv_heads, head_dim, kv_bits)
+
+    def transfer_latency_s(
+        self,
+        n_pages: int,
+        page_size: int,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        kv_bits: int,
+    ) -> float:
+        """Modeled hand-off latency in seconds: base + bytes / bandwidth."""
+        payload = self.transfer_bytes(
+            n_pages, page_size, n_layers, n_kv_heads, head_dim, kv_bits
+        )
+        return self.base_latency_s + payload / self.bandwidth_bytes_per_s
 
 
 @dataclass(frozen=True)

@@ -15,9 +15,33 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
+from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache, PagedSequenceExport
 
-__all__ = ["StreamingKVStore", "DualPagedKVCache"]
+__all__ = ["StreamingKVStore", "DualPagedKVCache", "DualSequenceExport"]
+
+
+@dataclass
+class DualSequenceExport:
+    """Snapshot of one sequence across both stores, for cross-pool migration.
+
+    Carries the dense pool's page images (see
+    :class:`~repro.kvcache.paged_cache.PagedSequenceExport`), independent
+    clones of the per-layer streaming stores, and — when the source retained
+    streaming history for prefix sharing — the retained stream log, so the
+    target can keep serving prefix registrations.
+    """
+
+    n_tokens: int
+    dense: PagedSequenceExport | None
+    #: layer -> cloned constant-size streaming store.
+    streaming: dict[int, StreamingKVStore]
+    #: layer -> retained (k, v) chunk list; ``None`` when retention was off.
+    stream_log: dict[int, list[tuple[np.ndarray, np.ndarray]]] | None
+
+    @property
+    def n_pages(self) -> int:
+        """Dense physical pages the migration must move."""
+        return self.dense.n_pages if self.dense is not None else 0
 
 
 @dataclass
@@ -329,6 +353,66 @@ class DualPagedKVCache:
                     self._stream_log[(seq_id, layer)] = [
                         (stream_k_per_layer[layer], stream_v_per_layer[layer])
                     ]
+
+    def export_sequence(self, seq_id: object) -> DualSequenceExport:
+        """Snapshot a sequence across both stores (source left untouched)."""
+        if seq_id not in self._seq_ids:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        dense = (
+            self.dense_cache.export_sequence(seq_id)
+            if self.dense_cache is not None
+            else None
+        )
+        streaming = {
+            layer: self._streaming[(seq_id, layer)].clone()
+            for layer in range(self.config.n_layers)
+            if (seq_id, layer) in self._streaming
+        }
+        stream_log = None
+        if self.retain_streaming_pages:
+            stream_log = {
+                layer: list(self._stream_log.get((seq_id, layer), []))
+                for layer in range(self.config.n_layers)
+            }
+        return DualSequenceExport(
+            n_tokens=self.seq_len(seq_id),
+            dense=dense,
+            streaming=streaming,
+            stream_log=stream_log,
+        )
+
+    def import_sequence(self, seq_id: object, export: DualSequenceExport) -> int:
+        """Install an exported sequence: attach dense pages, adopt streaming clones.
+
+        Returns the number of dense pages allocated on this pool (the pages a
+        transfer cost model charges for).  Raises ``ValueError`` on an
+        existing ``seq_id`` or mismatched head partitioning, ``OutOfPagesError``
+        (before any mutation) when the dense pool cannot hold the pages.
+        """
+        if seq_id in self._seq_ids:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        if (export.dense is None) != (self.dense_cache is None):
+            raise ValueError(
+                "exported sequence's dense/streaming head split does not match "
+                "the target cache"
+            )
+        if self.streaming_head_indices.size and not export.streaming:
+            raise ValueError("exported sequence carries no streaming stores")
+        if self.retain_streaming_pages and export.stream_log is None and export.streaming:
+            raise ValueError(
+                "target cache retains streaming history but the export carries "
+                "none (source had retention disabled)"
+            )
+        pages: list[int] = []
+        if self.dense_cache is not None and export.dense is not None:
+            pages = self.dense_cache.import_sequence(seq_id, export.dense)
+        self._seq_ids.add(seq_id)
+        for layer, store in export.streaming.items():
+            self._streaming[(seq_id, layer)] = store.clone()
+        if self.retain_streaming_pages and export.stream_log is not None:
+            for layer in range(self.config.n_layers):
+                self._stream_log[(seq_id, layer)] = list(export.stream_log.get(layer, []))
+        return len(pages)
 
     def prepare_append(self, seq_id: object, n_new_tokens: int) -> None:
         """Reserve the dense pool's pages for an upcoming append, atomically.

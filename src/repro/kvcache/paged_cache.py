@@ -28,7 +28,39 @@ from repro.kvcache.kv_stats import PageKeyStats
 from repro.kvcache.page_table import PageTable
 from repro.kvcache.quantization import SUPPORTED_BITS, dequantize, quantize
 
-__all__ = ["PagedCacheConfig", "PagedKVCache"]
+__all__ = ["PagedCacheConfig", "PagedKVCache", "PagedSequenceExport"]
+
+
+@dataclass
+class PagedSequenceExport:
+    """Bit-exact snapshot of one sequence's paged KV state, for migration.
+
+    Produced by :meth:`PagedKVCache.export_sequence` and consumed by
+    :meth:`PagedKVCache.import_sequence` on a *different* cache (typically a
+    different replica's pool in a disaggregated cluster).  Page **images**
+    are carried, not token histories: stored values are post-quantization
+    while per-page key statistics fold the raw pre-quantization keys, so
+    replaying tokens on the target would diverge — copying the images is the
+    only byte-identical unit of migration.
+    """
+
+    page_size: int
+    n_kv_heads: int
+    head_dim: int
+    kv_bits: int
+    num_tokens: int
+    #: Per-layer appended-token counts (usually identical across layers).
+    tokens_per_layer: list[int]
+    #: Per-layer page images, shape ``(n_pages, page_size, n_kv_heads, head_dim)``.
+    k_pages: list[np.ndarray]
+    v_pages: list[np.ndarray]
+    #: Per-layer deep-copied logical-page key statistics.
+    key_stats_per_layer: list[list[PageKeyStats]]
+
+    @property
+    def n_pages(self) -> int:
+        """Physical pages the snapshot carries (what a transfer must move)."""
+        return int(self.k_pages[0].shape[0]) if self.k_pages else 0
 
 
 @dataclass(frozen=True)
@@ -160,6 +192,86 @@ class PagedKVCache:
         for layer in range(self.config.n_layers):
             self._tokens[(seq_id, layer)] = n_tokens
             self._key_stats[(seq_id, layer)] = list(stats_per_layer[layer])
+
+    def export_sequence(self, seq_id: object) -> PagedSequenceExport:
+        """Snapshot a sequence's pages, counts, and key stats for migration.
+
+        The source sequence is left untouched (pair with
+        :meth:`remove_sequence` to complete a hand-off).  Page images and key
+        statistics are deep-copied, so the snapshot stays valid after the
+        source releases its pages.
+        """
+        table = self._table(seq_id)
+        cfg = self.config
+        page_ids = np.asarray(table.pages, dtype=np.intp)
+        return PagedSequenceExport(
+            page_size=cfg.page_size,
+            n_kv_heads=cfg.n_kv_heads,
+            head_dim=cfg.head_dim,
+            kv_bits=cfg.kv_bits,
+            num_tokens=table.num_tokens,
+            tokens_per_layer=[
+                self._tokens[(seq_id, layer)] for layer in range(cfg.n_layers)
+            ],
+            k_pages=[self._k_store[layer][page_ids].copy() for layer in range(cfg.n_layers)],
+            v_pages=[self._v_store[layer][page_ids].copy() for layer in range(cfg.n_layers)],
+            key_stats_per_layer=[
+                [
+                    PageKeyStats(kmin=s.kmin.copy(), kmax=s.kmax.copy(), n_tokens=s.n_tokens)
+                    for s in self._key_stats[(seq_id, layer)]
+                ]
+                for layer in range(cfg.n_layers)
+            ],
+        )
+
+    def import_sequence(self, seq_id: object, export: PagedSequenceExport) -> list[int]:
+        """Install an exported sequence into this pool on freshly attached pages.
+
+        Allocates ``export.n_pages`` pages (each enters at refcount 1 — the
+        target-side *attach* of the migration), bit-copies the page images,
+        and rebuilds the page table, token counts, and key statistics.
+        Raises ``ValueError`` when ``seq_id`` already exists or the snapshot's
+        geometry does not match this pool, and
+        :class:`~repro.kvcache.allocator.OutOfPagesError` — before any
+        mutation — when the pool cannot hold the pages.  Returns the
+        allocated page ids.
+        """
+        cfg = self.config
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        if (
+            export.page_size != cfg.page_size
+            or export.n_kv_heads != cfg.n_kv_heads
+            or export.head_dim != cfg.head_dim
+            or export.kv_bits != cfg.kv_bits
+            or len(export.k_pages) != cfg.n_layers
+        ):
+            raise ValueError(
+                "exported sequence geometry (page_size/heads/head_dim/kv_bits/"
+                "layers) does not match the target cache"
+            )
+        n_pages = export.n_pages
+        if not self.allocator.can_allocate(n_pages):
+            raise OutOfPagesError(
+                f"cannot import sequence {seq_id!r}: needs {n_pages} pages but "
+                f"only {self.allocator.num_free} free of {self.allocator.capacity}"
+            )
+        pages = self.allocator.allocate_many(n_pages) if n_pages else []
+        page_ids = np.asarray(pages, dtype=np.intp)
+        for layer in range(cfg.n_layers):
+            if n_pages:
+                self._k_store[layer][page_ids] = export.k_pages[layer]
+                self._v_store[layer][page_ids] = export.v_pages[layer]
+        self._tables[seq_id] = PageTable(
+            page_size=cfg.page_size, pages=list(pages), num_tokens=export.num_tokens
+        )
+        for layer in range(cfg.n_layers):
+            self._tokens[(seq_id, layer)] = export.tokens_per_layer[layer]
+            self._key_stats[(seq_id, layer)] = [
+                PageKeyStats(kmin=s.kmin.copy(), kmax=s.kmax.copy(), n_tokens=s.n_tokens)
+                for s in export.key_stats_per_layer[layer]
+            ]
+        return list(pages)
 
     def has_sequence(self, seq_id: object) -> bool:
         return seq_id in self._tables

@@ -49,12 +49,18 @@ independent engine replicas under pluggable routing policies
 replicas and resubmits their in-flight requests with byte-identical streams,
 and merges per-replica metrics into fleet-wide
 :class:`~repro.serving.cluster.ClusterMetrics` — servable over the same
-HTTP front end.
+HTTP front end.  :class:`~repro.serving.cluster.DisaggregatedCluster`
+splits the fleet into prefill and decode tiers with modeled KV hand-off
+(``backend.handoff_out`` → :class:`~repro.serving.backend.KVHandoff` →
+``backend.handoff_in``, priced by
+:class:`~repro.gpu.cost_model.TransferCostModel`), isolating decode latency
+from long-prefill interference.
 """
 
 from repro.serving.backend import (
     BackendWork,
     InferenceBackend,
+    KVHandoff,
     LServeBackend,
     SimulatedBackend,
     StepResult,
@@ -64,6 +70,8 @@ from repro.serving.cluster import (
     ROUTING_POLICIES,
     ClusterMetrics,
     ClusterRequestHandle,
+    DisaggMetrics,
+    DisaggregatedCluster,
     LeastKVPolicy,
     PrefixAffinityPolicy,
     Replica,
@@ -106,6 +114,7 @@ from repro.serving.workload import (
 __all__ = [
     "BackendWork",
     "InferenceBackend",
+    "KVHandoff",
     "LServeBackend",
     "SimulatedBackend",
     "StepResult",
@@ -116,9 +125,11 @@ __all__ = [
     "AsyncServingEngine",
     "RequestAborted",
     "ServingCluster",
+    "DisaggregatedCluster",
     "ClusterRequestHandle",
     "Replica",
     "ClusterMetrics",
+    "DisaggMetrics",
     "merge_live_gauges",
     "render_cluster_prometheus",
     "RoutingPolicy",

@@ -25,6 +25,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.core.engine import LServeEngine
+from repro.gpu.cost_model import TransferCostModel
 from repro.gpu.simulator import LatencySimulator
 from repro.kvcache.prefix_index import PrefixIndex
 
@@ -32,9 +33,47 @@ __all__ = [
     "StepResult",
     "BackendWork",
     "InferenceBackend",
+    "KVHandoff",
     "SimulatedBackend",
     "LServeBackend",
 ]
+
+
+@dataclass(frozen=True)
+class KVHandoff:
+    """A sequence's KV state in flight between two backends.
+
+    Produced by a backend's ``handoff_out`` and consumed by another backend's
+    ``handoff_in`` (the prefill→decode migration of a disaggregated cluster).
+    The geometry fields describe the wire payload for a
+    :class:`~repro.gpu.cost_model.TransferCostModel`; ``payload`` is the
+    backend-specific state (page images + streaming stores for
+    :class:`LServeBackend`, the modelled context length for
+    :class:`SimulatedBackend`) and is opaque to the cluster layer.
+    """
+
+    n_tokens: int
+    n_pages: int
+    page_size: int
+    n_layers: int
+    n_kv_heads: int
+    head_dim: int
+    kv_bits: int
+    payload: object
+
+    def transfer_bytes(self, model: TransferCostModel) -> float:
+        """Wire bytes of this hand-off under ``model``."""
+        return model.transfer_bytes(
+            self.n_pages, self.page_size, self.n_layers,
+            self.n_kv_heads, self.head_dim, self.kv_bits,
+        )
+
+    def transfer_latency_s(self, model: TransferCostModel) -> float:
+        """Modeled migration latency of this hand-off under ``model``."""
+        return model.transfer_latency_s(
+            self.n_pages, self.page_size, self.n_layers,
+            self.n_kv_heads, self.head_dim, self.kv_bits,
+        )
 
 
 @dataclass(frozen=True)
@@ -115,6 +154,14 @@ class InferenceBackend(Protocol):
     serving engine surfaces it as the ground-truth occupancy gauge in
     :meth:`~repro.serving.engine.ServingEngine.live_gauges` (the scheduler's
     own count is an estimate that excludes shared prefix pages).
+
+    Backends that support disaggregated serving additionally expose the
+    migration hooks ``handoff_out(seq_id) -> KVHandoff`` (extract a
+    sequence's KV and release it locally; a second hand-off of the same
+    sequence raises ``KeyError``) and ``handoff_in(seq_id, handoff)``
+    (install a migrated sequence; an existing ``seq_id`` raises
+    ``ValueError``).  Neither hook bills time — the cluster layer charges the
+    modeled transfer latency on the receiving replica's clock.
     """
 
     work: BackendWork
@@ -223,6 +270,41 @@ class SimulatedBackend:
         """Modelled KV tokens across all live sequences (live-gauge support)."""
         return int(sum(self._context.values()))
 
+    def handoff_out(self, seq_id: object) -> KVHandoff:
+        """Extract the sequence's modelled KV for migration and drop it here.
+
+        The hand-off geometry comes from the cost model's model config and
+        system policy, so :class:`~repro.gpu.cost_model.TransferCostModel`
+        latencies line up with the same timing units every other
+        ``SimulatedBackend`` call bills.  Raises ``KeyError`` for an unknown
+        (or already handed-off) sequence.
+        """
+        if seq_id not in self._context:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        n_tokens = self._context.pop(seq_id)
+        model = self.latency.model
+        policy = self.latency.policy
+        page_size = policy.page_size
+        return KVHandoff(
+            n_tokens=n_tokens,
+            n_pages=-(-n_tokens // page_size),
+            page_size=page_size,
+            n_layers=model.n_layers,
+            n_kv_heads=model.n_kv_heads,
+            head_dim=model.head_dim,
+            kv_bits=policy.kv_bits,
+            payload=n_tokens,
+        )
+
+    def handoff_in(self, seq_id: object, handoff: KVHandoff) -> None:
+        """Adopt a migrated sequence's modelled context length.
+
+        Raises ``ValueError`` when ``seq_id`` already exists on this backend.
+        """
+        if seq_id in self._context:
+            raise ValueError(f"sequence {seq_id!r} already exists")
+        self._context[seq_id] = int(handoff.payload)
+
     def release(self, seq_id: object) -> None:
         """Forget the sequence's modelled context length (idempotent)."""
         self._context.pop(seq_id, None)
@@ -314,6 +396,41 @@ class LServeBackend:
         return int(
             sum(self.engine.context_length(s) for s in self._live_seq_ids)
         )
+
+    def handoff_out(self, seq_id: object) -> KVHandoff:
+        """Export the sequence's real KV (bit-exact page images) and release it.
+
+        The local dense pages are decref'd to zero (freed unless the prefix
+        index pins them); the snapshot travels in the hand-off payload.
+        Raises ``KeyError`` for an unknown (or already handed-off) sequence.
+        """
+        engine = self.engine
+        n_tokens = engine.context_length(seq_id)  # KeyError when unknown
+        export = engine.handoff_out(seq_id)
+        self._live_seq_ids.discard(seq_id)
+        cfg = engine.model.config
+        dense = export.dense
+        return KVHandoff(
+            n_tokens=n_tokens,
+            n_pages=export.n_pages,
+            page_size=engine.config.physical_page_size,
+            n_layers=cfg.n_layers,
+            n_kv_heads=dense.n_kv_heads if dense is not None else cfg.n_kv_heads,
+            head_dim=cfg.head_dim,
+            kv_bits=engine.config.kv_bits,
+            payload=export,
+        )
+
+    def handoff_in(self, seq_id: object, handoff: KVHandoff) -> None:
+        """Install a migrated sequence on this backend's engine.
+
+        Fresh pages are attached on the local allocator (refcount 1 each) and
+        the page images bit-copied, so decode continues numerically identical
+        to a local prefill.  Raises ``ValueError`` when ``seq_id`` already
+        exists.
+        """
+        self.engine.handoff_in(seq_id, handoff.payload)
+        self._live_seq_ids.add(seq_id)
 
     def release(self, seq_id: object) -> None:
         """Free the engine's KV pages and cached page selections for ``seq_id``."""

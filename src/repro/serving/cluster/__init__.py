@@ -22,14 +22,24 @@ fleet-wide percentiles/SLO attainment, and the cluster renders a combined
 Prometheus ``/metrics`` body (aggregates + per-replica labelled series)
 served verbatim by :class:`~repro.serving.http.CompletionServer`.
 
-See ``docs/cluster.md`` for the architecture and
-``benchmarks/bench_cluster_routing.py`` for the replica-count × policy ×
-workload sweep.
+:class:`~repro.serving.cluster.disagg.DisaggregatedCluster` goes one step
+further and **disaggregates** the fleet into a prefill pool and a decode
+pool: requests prefill on one tier, their KV pages migrate (with a modeled
+transfer delay from :class:`~repro.gpu.cost_model.TransferCostModel`) to the
+other, and long prefill bursts stop stalling interactive decodes.
+:class:`~repro.serving.cluster.metrics.DisaggMetrics` adds the tier-split
+views and ``/metrics`` grows ``tier``-labelled series.
+
+See ``docs/cluster.md`` for the architecture, ``docs/disaggregation.md`` for
+the tiered variant, and ``benchmarks/bench_cluster_routing.py`` /
+``benchmarks/bench_disaggregation.py`` for the sweeps.
 """
 
 from repro.serving.cluster.cluster import ClusterRequestHandle, Replica, ServingCluster
+from repro.serving.cluster.disagg import DisaggregatedCluster
 from repro.serving.cluster.metrics import (
     ClusterMetrics,
+    DisaggMetrics,
     merge_live_gauges,
     render_cluster_prometheus,
 )
@@ -44,9 +54,11 @@ from repro.serving.cluster.router import (
 
 __all__ = [
     "ServingCluster",
+    "DisaggregatedCluster",
     "ClusterRequestHandle",
     "Replica",
     "ClusterMetrics",
+    "DisaggMetrics",
     "merge_live_gauges",
     "render_cluster_prometheus",
     "RoutingPolicy",

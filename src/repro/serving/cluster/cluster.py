@@ -62,12 +62,18 @@ class Replica:
 
     Routing policies receive these: ``replica_id`` identifies the replica,
     ``live_gauges()`` snapshots its load.  ``healthy`` flips to ``False``
-    when the replica is quarantined; ``failure`` then records why.
+    when the replica is quarantined; ``failure`` then records why.  ``role``
+    names the replica's serving tier — ``"colocated"`` (the default: prefill
+    and decode on the same replica) or ``"prefill"`` / ``"decode"`` in a
+    disaggregated deployment.
     """
 
-    def __init__(self, replica_id: str, engine: AsyncServingEngine) -> None:
+    def __init__(
+        self, replica_id: str, engine: AsyncServingEngine, role: str = "colocated"
+    ) -> None:
         self.replica_id = replica_id
         self.engine = engine
+        self.role = role
         self.healthy = True
         self.failure: BaseException | None = None
 
@@ -204,6 +210,7 @@ class ServingCluster:
         routing: str | RoutingPolicy = "round_robin",
         default_sampling: SamplingParams | None = None,
         replica_ids: list[str] | None = None,
+        replica_roles: list[str] | None = None,
     ) -> None:
         backends = list(backends)
         if not backends:
@@ -216,6 +223,12 @@ class ServingCluster:
             )
         if len(set(replica_ids)) != len(replica_ids):
             raise ValueError("replica_ids must be unique")
+        if replica_roles is None:
+            replica_roles = ["colocated"] * len(backends)
+        if len(replica_roles) != len(backends):
+            raise ValueError(
+                f"{len(replica_roles)} replica_roles for {len(backends)} backends"
+            )
         if len({id(b) for b in backends}) != len(backends):
             raise ValueError(
                 "replicas must not share a backend instance; each replica owns "
@@ -225,8 +238,12 @@ class ServingCluster:
             routing if isinstance(routing, RoutingPolicy) else make_routing_policy(routing)
         )
         self._replicas = [
-            Replica(rid, AsyncServingEngine(backend, scheduler_config, default_sampling))
-            for rid, backend in zip(replica_ids, backends)
+            Replica(
+                rid,
+                AsyncServingEngine(backend, scheduler_config, default_sampling),
+                role=role,
+            )
+            for rid, backend, role in zip(replica_ids, backends, replica_roles)
         ]
         self._handles: dict[str, ClusterRequestHandle] = {}
         self._pumps: set[asyncio.Task] = set()
@@ -276,6 +293,19 @@ class ServingCluster:
     def replica_health(self) -> dict[str, bool]:
         """Health flag per replica id (``False`` = quarantined)."""
         return {r.replica_id: r.healthy for r in self._replicas}
+
+    def pools(self) -> dict[str, list[str]]:
+        """Replica ids grouped by serving role (tier), in creation order.
+
+        A homogeneous cluster reports one ``"colocated"`` pool; role-aware
+        constructions (and :class:`~repro.serving.cluster.disagg.DisaggregatedCluster`)
+        report their ``"prefill"`` / ``"decode"`` pools.  Surfaced by the
+        HTTP front end's ``GET /healthz``.
+        """
+        pools: dict[str, list[str]] = {}
+        for replica in self._replicas:
+            pools.setdefault(replica.role, []).append(replica.replica_id)
+        return pools
 
     @property
     def failures(self) -> dict[str, BaseException]:

@@ -1,0 +1,526 @@
+"""Disaggregated serving: a prefill tier, a decode tier, modeled KV hand-off.
+
+:class:`DisaggregatedCluster` partitions its replicas into two pools, the
+way DistServe / Mooncake-style deployments do:
+
+* the **prefill pool** admits every new request and computes its prompt KV
+  (emitting the first token);
+* the **decode pool** owns the token-by-token generation phase.
+
+Between the two, the request's KV pages are *migrated*: the prefill
+replica's backend exports the sequence (``handoff_out`` — ref-counted pages
+detach from the source allocator), the pages are charged a modeled transfer
+delay from a :class:`~repro.gpu.cost_model.TransferCostModel`
+(``bytes = pages × page_size × layers × heads × head_dim × 2 × kv_bits/8``,
+``latency = base + bytes / bandwidth``), and the decode replica's backend
+attaches them (``handoff_in`` — fresh ref-count-1 pages, bit-identical
+images).  The delay is realised on the decode replica's **virtual clock**:
+the request joins its decode batch no earlier than
+``prefill_finish + transfer_latency``.
+
+Why bother?  Colocated serving lets a 100K-token prefill stall every
+decoding request on the same replica for the whole prefill; disaggregation
+confines prefill bursts to the prefill pool, so the decode pool's inter-token
+latency (TPOT) stays flat.  ``benchmarks/bench_disaggregation.py`` measures
+exactly that — and verifies the migrated outputs stay byte-identical to a
+single-replica run, with zero pages leaked on either allocator.
+
+Both pools reuse the cluster routing registry: ``prefix_affinity`` on the
+prefill side keeps shared prompts hitting the same prefix cache, and the
+decode side defaults to ``least_kv`` (size-aware balance).  See
+``docs/disaggregation.md`` for the architecture diagram and the migration
+lifecycle.
+
+Typical use::
+
+    cluster = DisaggregatedCluster(
+        prefill_backends=[make_backend(), make_backend()],
+        decode_backends=[make_backend(), make_backend()],
+        transfer_model=TransferCostModel(),
+    )
+    async with cluster:
+        handle = cluster.submit(request)
+        async for token in handle.stream():
+            ...
+    metrics = await cluster.drain()          # DisaggMetrics
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+
+from repro.gpu.cost_model import TransferCostModel
+from repro.serving.backend import InferenceBackend
+from repro.serving.cluster.cluster import ClusterRequestHandle, Replica
+from repro.serving.cluster.metrics import (
+    DisaggMetrics,
+    merge_live_gauges,
+    render_cluster_prometheus,
+)
+from repro.serving.cluster.router import RoutingPolicy, make_routing_policy
+from repro.serving.frontend import AsyncServingEngine
+from repro.serving.metrics import LiveGauges, render_gauge_value
+from repro.serving.request import Request
+from repro.serving.sampling import SamplingParams
+from repro.serving.scheduler import SchedulerConfig
+
+__all__ = ["DisaggregatedCluster"]
+
+
+class DisaggregatedCluster:
+    """Prefill/decode-tiered serving with modeled KV migration (see module doc).
+
+    ``prefill_backends`` / ``decode_backends`` each supply one
+    :class:`InferenceBackend` per replica of that pool (never share an
+    instance — every replica owns its KV pool).  ``prefill_routing`` /
+    ``decode_routing`` pick the pool-local routing policy by registry name
+    (``"round_robin"`` / ``"least_kv"`` / ``"prefix_affinity"``) or
+    instance.  ``transfer_model`` prices each migration;
+    ``scheduler_config`` applies to both tiers unless a tier-specific
+    ``prefill_scheduler_config`` / ``decode_scheduler_config`` overrides it.
+
+    The surface mirrors :class:`~repro.serving.cluster.ServingCluster`:
+    ``submit`` / ``replay`` / ``drain`` / ``shutdown`` / ``metrics`` /
+    ``prometheus_metrics`` / ``pools``, and consumers hold the same
+    :class:`~repro.serving.cluster.ClusterRequestHandle`.  Failure
+    containment also carries over: a dead replica (either tier) is
+    quarantined and its in-flight requests restart the whole
+    prefill→migrate→decode pipeline on survivors, with already-delivered
+    tokens deduplicated so streams stay byte-identical.
+    """
+
+    def __init__(
+        self,
+        prefill_backends: list[InferenceBackend],
+        decode_backends: list[InferenceBackend],
+        *,
+        transfer_model: TransferCostModel | None = None,
+        scheduler_config: SchedulerConfig | None = None,
+        prefill_scheduler_config: SchedulerConfig | None = None,
+        decode_scheduler_config: SchedulerConfig | None = None,
+        prefill_routing: str | RoutingPolicy = "round_robin",
+        decode_routing: str | RoutingPolicy = "least_kv",
+        default_sampling: SamplingParams | None = None,
+        prefill_ids: list[str] | None = None,
+        decode_ids: list[str] | None = None,
+    ) -> None:
+        prefill_backends = list(prefill_backends)
+        decode_backends = list(decode_backends)
+        if not prefill_backends or not decode_backends:
+            raise ValueError("disaggregation needs at least one replica per tier")
+        all_backends = prefill_backends + decode_backends
+        if len({id(b) for b in all_backends}) != len(all_backends):
+            raise ValueError(
+                "replicas must not share a backend instance; each replica owns "
+                "its KV pool — construct one backend per replica"
+            )
+        if prefill_ids is None:
+            prefill_ids = [f"prefill-{i}" for i in range(len(prefill_backends))]
+        if decode_ids is None:
+            decode_ids = [f"decode-{i}" for i in range(len(decode_backends))]
+        if len(prefill_ids) != len(prefill_backends) or len(decode_ids) != len(
+            decode_backends
+        ):
+            raise ValueError("replica id count must match backend count per tier")
+        ids = prefill_ids + decode_ids
+        if len(set(ids)) != len(ids):
+            raise ValueError("replica ids must be unique across both tiers")
+        self.transfer_model = transfer_model or TransferCostModel()
+        self.prefill_routing = (
+            prefill_routing
+            if isinstance(prefill_routing, RoutingPolicy)
+            else make_routing_policy(prefill_routing)
+        )
+        self.decode_routing = (
+            decode_routing
+            if isinstance(decode_routing, RoutingPolicy)
+            else make_routing_policy(decode_routing)
+        )
+        self._prefill_replicas = [
+            Replica(
+                rid,
+                AsyncServingEngine(
+                    backend,
+                    prefill_scheduler_config or scheduler_config,
+                    default_sampling,
+                ),
+                role="prefill",
+            )
+            for rid, backend in zip(prefill_ids, prefill_backends)
+        ]
+        self._decode_replicas = [
+            Replica(
+                rid,
+                AsyncServingEngine(
+                    backend,
+                    decode_scheduler_config or scheduler_config,
+                    default_sampling,
+                ),
+                role="decode",
+            )
+            for rid, backend in zip(decode_ids, decode_backends)
+        ]
+        self._handles: dict[str, ClusterRequestHandle] = {}
+        self._pumps: set[asyncio.Task] = set()
+        self._draining = False
+        #: Completed KV migrations (one per request that reached the decode tier).
+        self.migrations_total = 0
+        #: Physical pages moved across all migrations.
+        self.migrated_pages_total = 0
+        #: Modeled transfer seconds charged across all migrations.
+        self.transfer_seconds_total = 0.0
+        #: Total pipeline restarts performed after replica failures.
+        self.total_resubmissions = 0
+        #: Requests that ended cancelled because the pipeline itself failed
+        #: (e.g. the decode pool could not fit the migrated pages), by id.
+        self.request_failures: dict[str, BaseException] = {}
+
+    # -- topology ----------------------------------------------------------------
+    @property
+    def replicas(self) -> list[Replica]:
+        """Every replica of both tiers (prefill pool first), in creation order."""
+        return list(self._prefill_replicas) + list(self._decode_replicas)
+
+    @property
+    def healthy_replicas(self) -> list[Replica]:
+        """Replicas currently eligible for routing, both tiers."""
+        return [r for r in self.replicas if r.healthy]
+
+    @property
+    def num_replicas(self) -> int:
+        """Total replica count across both tiers."""
+        return len(self._prefill_replicas) + len(self._decode_replicas)
+
+    def pools(self) -> dict[str, list[str]]:
+        """Replica ids per tier: ``{"prefill": [...], "decode": [...]}``.
+
+        Surfaced by the HTTP front end's ``GET /healthz``.
+        """
+        return {
+            "prefill": [r.replica_id for r in self._prefill_replicas],
+            "decode": [r.replica_id for r in self._decode_replicas],
+        }
+
+    def tier_of(self) -> dict[str, str]:
+        """Tier name per replica id (the label set for metrics)."""
+        return {r.replica_id: r.role for r in self.replicas}
+
+    def replica_health(self) -> dict[str, bool]:
+        """Health flag per replica id (``False`` = quarantined), both tiers."""
+        return {r.replica_id: r.healthy for r in self.replicas}
+
+    @property
+    def failures(self) -> dict[str, BaseException]:
+        """The exception that killed each quarantined replica, by id."""
+        return {
+            r.replica_id: r.failure
+            for r in self.replicas
+            if not r.healthy and r.failure is not None
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Start every healthy replica's drive loop (idempotent; needs a loop)."""
+        if self._draining:
+            raise RuntimeError("cluster is draining or shut down; create a new one")
+        for replica in self.replicas:
+            if replica.healthy:
+                replica.engine.start()
+
+    async def __aenter__(self) -> "DisaggregatedCluster":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    async def drain(self) -> DisaggMetrics:
+        """Serve everything in flight to completion, refusing new submissions.
+
+        Every in-flight pipeline finishes first (prefill, migration, and
+        decode — failures mid-drain still restart on survivors), then each
+        healthy replica's drive loop is stopped.  Returns the fleet's
+        :class:`DisaggMetrics`.
+        """
+        self._draining = True
+        await self._await_pumps()
+        for replica in self.replicas:
+            if replica.healthy:
+                await replica.engine.drain()
+        return self.metrics
+
+    async def shutdown(self) -> None:
+        """Abort everything still in flight and stop every replica."""
+        self._draining = True
+        for handle in list(self._handles.values()):
+            handle.cancel()
+        await self._await_pumps()
+        for replica in self.replicas:
+            if replica.healthy:
+                await replica.engine.shutdown()
+
+    async def _await_pumps(self) -> None:
+        # Pipeline restarts spawn new pumps, so drain the set to a fixed point.
+        while self._pumps:
+            await asyncio.gather(*list(self._pumps))
+
+    # -- submission --------------------------------------------------------------
+    def submit(self, request: Request, *, arrive_now: bool = False) -> ClusterRequestHandle:
+        """Route a request into the prefill pool; returns its cluster handle.
+
+        The request is served by the full pipeline: prefill on a prefill
+        replica (first token streams out the moment prefill finishes), KV
+        migration with modeled delay, then decode on a decode replica.
+        ``arrive_now`` stamps the arrival with the prefill replica's current
+        virtual clock (live-traffic semantics); leave it off when replaying
+        a trace whose arrival times are the experiment.
+        """
+        if self._draining:
+            raise RuntimeError("cluster is draining or shut down; submission refused")
+        if request.request_id in self._handles:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        self.start()
+        handle = ClusterRequestHandle(request, self)
+        self._handles[request.request_id] = handle
+        self._spawn(handle, arrive_now=arrive_now)
+        return handle
+
+    async def replay(self, requests: list[Request]) -> list[ClusterRequestHandle]:
+        """Submit a workload trace in virtual-time order across both tiers.
+
+        Like :meth:`ServingCluster.replay`: each submission waits until every
+        busy replica's clock reaches the request's arrival time, so routing
+        decisions see realistic gauges.  Returns the handles in submission
+        order; callers typically ``await cluster.drain()`` afterwards.
+        """
+        self.start()
+        handles = []
+        for request in sorted(requests, key=lambda r: r.arrival_time_s):
+            await self._advance_clocks_to(request.arrival_time_s)
+            handles.append(self.submit(request))
+        return handles
+
+    async def _advance_clocks_to(self, arrival_time_s: float) -> None:
+        while any(
+            r.healthy
+            and r.engine.engine.has_work
+            and r.engine.engine.clock_s < arrival_time_s
+            for r in self.replicas
+        ):
+            await asyncio.sleep(0)
+
+    def handle(self, request_id: str) -> ClusterRequestHandle:
+        """Look up the handle of an *in-flight* request (pruned when terminal)."""
+        return self._handles[request_id]
+
+    def abort(self, request_id: str) -> bool:
+        """Abort an in-flight request by id; ``False`` if it is not in flight."""
+        handle = self._handles.get(request_id)
+        if handle is None:
+            return False
+        return handle.cancel()
+
+    # -- the pipeline ------------------------------------------------------------
+    def _spawn(self, handle: ClusterRequestHandle, *, arrive_now: bool) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve(handle, arrive_now=arrive_now),
+            name=f"disagg-pump-{handle.request_id}",
+        )
+        self._pumps.add(task)
+        task.add_done_callback(self._pumps.discard)
+
+    async def _serve(self, handle: ClusterRequestHandle, *, arrive_now: bool) -> None:
+        """Run the prefill→migrate→decode pipeline, restarting on replica failure."""
+        try:
+            while True:
+                finished = await self._serve_once(handle, arrive_now=arrive_now)
+                if finished:
+                    return
+                if handle._cancel_requested:
+                    self._retire(handle, cancelled=True)
+                    return
+                handle.resubmissions += 1
+                self.total_resubmissions += 1
+                arrive_now = True  # the restart arrives "now" on the survivors
+        except Exception as exc:
+            # A pipeline step itself failed (e.g. the decode pool cannot fit
+            # the migrated pages).  Never strand the consumer on a stream
+            # that will not end: record the failure and end the handle.
+            self.request_failures[handle.request_id] = exc
+            self._retire(handle, cancelled=True)
+
+    async def _serve_once(self, handle: ClusterRequestHandle, *, arrive_now: bool) -> bool:
+        """One pipeline attempt; ``False`` means a replica died → restart."""
+        skip = len(handle._tokens)  # replayed tokens already delivered
+
+        # -- prefill tier: compute the prompt KV, emit the first token --------
+        try:
+            prefill_replica = self._route(
+                handle.request, self.prefill_routing, self._prefill_replicas
+            )
+        except RuntimeError:
+            self._retire(handle, cancelled=True)
+            return True
+        prefill_request = replace(handle.request, max_new_tokens=1)
+        try:
+            rep_handle = prefill_replica.engine.submit(
+                prefill_request, arrive_now=arrive_now
+            )
+        except RuntimeError as exc:
+            self._quarantine(prefill_replica, exc)
+            return False
+        # Keep the prompt KV alive past retirement so it can be exported.
+        prefill_replica.engine.engine.retain_kv_on_finish(handle.request_id)
+        handle._replica = prefill_replica
+        handle._rep_handle = rep_handle
+        async for token in rep_handle.stream():
+            if skip:
+                skip -= 1
+            else:
+                handle._push(token)
+        if not rep_handle.finished or rep_handle.cancelled:
+            if handle._cancel_requested:
+                self._retire(handle, cancelled=True)
+                return True
+            if prefill_replica.engine.failure is not None:
+                self._quarantine(prefill_replica, prefill_replica.engine.failure)
+                return False
+            self._retire(handle, cancelled=True)
+            return True
+
+        sync = rep_handle._sync  # kept alive by the async handle after pruning
+        first_tokens = list(sync.output_tokens)
+        prefill_finish_s = sync.state.prefill_finish_time_s
+        if prefill_finish_s is None:
+            prefill_finish_s = prefill_replica.engine.engine.clock_s
+        prefill_backend = prefill_replica.engine.engine.backend
+        params = handle.request.sampling or prefill_replica.engine.default_sampling
+        stopped = getattr(prefill_backend, "produces_logits", False) and params.is_stop(
+            first_tokens[-1]
+        )
+        if handle._cancel_requested or handle.request.max_new_tokens == 1 or stopped:
+            # Nothing left to decode (or the caller bailed): the retained KV
+            # is released here instead of migrating.
+            prefill_backend.release(handle.request_id)
+            self._retire(handle, cancelled=handle._cancel_requested)
+            return True
+
+        # -- migrate: export from the prefill pool, price the transfer --------
+        handoff = prefill_backend.handoff_out(handle.request_id)
+        delay_s = handoff.transfer_latency_s(self.transfer_model)
+        try:
+            decode_replica = self._route(
+                handle.request, self.decode_routing, self._decode_replicas
+            )
+        except RuntimeError:
+            self._retire(handle, cancelled=True)
+            return True
+        decode_engine = decode_replica.engine
+        try:
+            decode_engine.engine.backend.handoff_in(handle.request_id, handoff)
+            decode_handle = decode_engine.adopt(
+                handle.request,
+                output_tokens=first_tokens,
+                rng=sync._rng,
+                prefill_finish_time_s=prefill_finish_s,
+                ready_time_s=prefill_finish_s + delay_s,
+                transfer_ms=delay_s * 1e3,
+                migrated_pages=handoff.n_pages,
+            )
+        except RuntimeError as exc:
+            self._quarantine(decode_replica, exc)
+            return False
+        self.migrations_total += 1
+        self.migrated_pages_total += handoff.n_pages
+        self.transfer_seconds_total += delay_s
+
+        # -- decode tier: stream the rest of the generation -------------------
+        handle._replica = decode_replica
+        handle._rep_handle = decode_handle
+        if handle._cancel_requested:
+            decode_handle.cancel()
+        async for token in decode_handle.stream():
+            if skip:
+                skip -= 1
+            else:
+                handle._push(token)
+        if decode_handle.finished and not decode_handle.cancelled:
+            self._retire(handle, cancelled=False)
+            return True
+        if handle._cancel_requested:
+            self._retire(handle, cancelled=True)
+            return True
+        if decode_replica.engine.failure is not None:
+            self._quarantine(decode_replica, decode_replica.engine.failure)
+            return False
+        self._retire(handle, cancelled=True)
+        return True
+
+    def _route(
+        self, request: Request, policy: RoutingPolicy, pool: list[Replica]
+    ) -> Replica:
+        candidates = [r for r in pool if r.healthy]
+        if not candidates:
+            raise RuntimeError(
+                f"no healthy {pool[0].role} replicas remain; "
+                f"quarantined: {sorted(self.failures)}"
+            )
+        return policy.choose(request, candidates)
+
+    def _retire(self, handle: ClusterRequestHandle, *, cancelled: bool) -> None:
+        handle._finish(cancelled)
+        self._handles.pop(handle.request_id, None)
+
+    def _quarantine(self, replica: Replica, failure: BaseException) -> None:
+        if not replica.healthy:
+            return
+        replica.healthy = False
+        replica.failure = failure
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def metrics(self) -> DisaggMetrics:
+        """Per-replica + tier-aware fleet metrics (see :class:`DisaggMetrics`)."""
+        return DisaggMetrics(
+            per_replica={r.replica_id: r.engine.metrics for r in self.replicas},
+            tier_of=self.tier_of(),
+        )
+
+    @property
+    def default_sampling(self) -> SamplingParams:
+        """The fleet-wide sampling default (same on every replica)."""
+        return self._prefill_replicas[0].engine.default_sampling
+
+    def live_gauges(self) -> LiveGauges:
+        """Fleet-wide gauge snapshot (both tiers merged by summation)."""
+        return merge_live_gauges([r.live_gauges() for r in self.replicas])
+
+    def per_replica_gauges(self) -> dict[str, LiveGauges]:
+        """Gauge snapshot per replica id, prefill pool first."""
+        return {r.replica_id: r.live_gauges() for r in self.replicas}
+
+    def prometheus_metrics(self) -> str:
+        """The ``/metrics`` body: fleet + per-tier + per-replica series.
+
+        Per-replica series carry ``{replica="...",tier="..."}`` labels and
+        each tier gets merged ``repro_tier_*`` gauges; the migration
+        counters (``repro_cluster_migrations_total``,
+        ``repro_cluster_migrated_pages_total``,
+        ``repro_cluster_transfer_seconds_total``) are appended.
+        """
+        body = render_cluster_prometheus(
+            self.per_replica_gauges(),
+            healthy=self.replica_health(),
+            tiers=self.tier_of(),
+        ).rstrip("\n")
+        counters = [
+            ("repro_cluster_migrations_total", self.migrations_total),
+            ("repro_cluster_migrated_pages_total", self.migrated_pages_total),
+            ("repro_cluster_transfer_seconds_total", self.transfer_seconds_total),
+        ]
+        lines = [body]
+        for name, value in counters:
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {render_gauge_value(value)}")
+        return "\n".join(lines) + "\n"

@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 
 from repro.serving.metrics import LiveGauges, ServingMetrics, render_gauge_value
 
-__all__ = ["ClusterMetrics", "merge_live_gauges", "render_cluster_prometheus"]
+__all__ = [
+    "ClusterMetrics",
+    "DisaggMetrics",
+    "merge_live_gauges",
+    "render_cluster_prometheus",
+]
 
 
 @dataclass
@@ -109,6 +114,65 @@ class ClusterMetrics:
         return {rid: len(m) for rid, m in self.per_replica.items()}
 
 
+@dataclass
+class DisaggMetrics(ClusterMetrics):
+    """Cluster metrics for a disaggregated prefill/decode fleet.
+
+    ``tier_of`` maps each replica id to its tier (``"prefill"`` /
+    ``"decode"``).  A migrated request produces **two** records — a
+    first-token record on its prefill replica and the authoritative
+    end-to-end record on its decode replica (original arrival time,
+    preserved first-token timestamp, full generated count, ``transfer_ms``)
+    — so the fleet view deduplicates by request id, preferring the
+    decode-tier record.  The per-tier views keep both: prefill-tier TTFT is
+    the tier's admission+prefill latency, decode-tier TPOT its decode
+    cadence.
+    """
+
+    tier_of: dict[str, str] = field(default_factory=dict)
+
+    def fleet(self) -> ServingMetrics:
+        """Fleet records deduplicated by request id (decode-tier record wins)."""
+        chosen: dict[str, tuple[str, object]] = {}
+        for rid, metrics in self.per_replica.items():
+            tier = self.tier_of.get(rid, "decode")
+            for record in metrics.records:
+                prev = chosen.get(record.request_id)
+                if prev is None or (prev[0] == "prefill" and tier == "decode"):
+                    chosen[record.request_id] = (tier, record)
+        merged = ServingMetrics()
+        for _, record in chosen.values():
+            merged.add(record)
+        return merged
+
+    def tier(self, tier: str) -> ServingMetrics:
+        """All records completed on replicas of one tier, merged (no dedup)."""
+        if tier not in set(self.tier_of.values()):
+            raise ValueError(f"unknown tier {tier!r}; have {sorted(set(self.tier_of.values()))}")
+        merged = ServingMetrics()
+        for rid, metrics in self.per_replica.items():
+            if self.tier_of.get(rid) == tier:
+                for record in metrics.records:
+                    merged.add(record)
+        return merged
+
+    def prefill_tier(self) -> ServingMetrics:
+        """The prefill tier's records (first-token service per migrated request)."""
+        return self.tier("prefill")
+
+    def decode_tier(self) -> ServingMetrics:
+        """The decode tier's records (authoritative end-to-end per request)."""
+        return self.tier("decode")
+
+    def total_migrated_pages(self) -> int:
+        """Physical KV pages migrated between tiers, over the deduplicated fleet."""
+        return self.fleet().total_migrated_pages()
+
+    def mean_transfer_ms(self, priority: int | None = None) -> float:
+        """Mean modeled hand-off latency over migrated requests, milliseconds."""
+        return self.fleet().mean_transfer_ms(priority)
+
+
 def merge_live_gauges(gauges: list[LiveGauges]) -> LiveGauges:
     """Fold per-replica gauge snapshots into one fleet-wide snapshot.
 
@@ -137,17 +201,21 @@ def merge_live_gauges(gauges: list[LiveGauges]) -> LiveGauges:
 def render_cluster_prometheus(
     per_replica: dict[str, LiveGauges],
     healthy: dict[str, bool] | None = None,
+    tiers: dict[str, str] | None = None,
 ) -> str:
     """Render the fleet's ``/metrics`` body in Prometheus text format.
 
-    Three groups, in order:
+    Groups, in order:
 
     * ``repro_cluster_*`` — the :func:`merge_live_gauges` aggregates, plus
       ``repro_cluster_replicas`` / ``repro_cluster_healthy_replicas`` when
       ``healthy`` is given;
+    * ``repro_tier_*{tier="<tier>"}`` — when ``tiers`` maps replica ids to
+      tier names (disaggregated clusters), the same merged gauges per tier;
     * ``repro_serving_*{replica="<id>"}`` — every per-replica gauge as a
       labelled series (one ``# TYPE`` line per metric, one sample per
-      replica, as the exposition format expects);
+      replica, as the exposition format expects); with ``tiers`` each sample
+      additionally carries its ``tier="<tier>"`` label;
     * ``repro_serving_healthy{replica="<id>"}`` — 1/0 per replica, when
       ``healthy`` is given.
     """
@@ -162,12 +230,30 @@ def render_cluster_prometheus(
         lines.append("# TYPE repro_cluster_healthy_replicas gauge")
         lines.append(f"repro_cluster_healthy_replicas {sum(healthy.values())}")
     field_names = list(next(iter(per_replica.values())).to_dict())
+    if tiers is not None:
+        groups: dict[str, list[LiveGauges]] = {}
+        for replica_id, gauges in per_replica.items():
+            groups.setdefault(tiers.get(replica_id, "colocated"), []).append(gauges)
+        merged_by_tier = {t: merge_live_gauges(gs).to_dict() for t, gs in groups.items()}
+        for name in field_names:
+            metric = f"repro_tier_{name}"
+            lines.append(f"# TYPE {metric} gauge")
+            for tier_name, values in merged_by_tier.items():
+                lines.append(
+                    f'{metric}{{tier="{tier_name}"}} {render_gauge_value(values[name])}'
+                )
     for name in field_names:
         metric = f"repro_serving_{name}"
         lines.append(f"# TYPE {metric} gauge")
         for replica_id, gauges in per_replica.items():
             value = render_gauge_value(gauges.to_dict()[name])
-            lines.append(f'{metric}{{replica="{replica_id}"}} {value}')
+            if tiers is not None:
+                tier_name = tiers.get(replica_id, "colocated")
+                lines.append(
+                    f'{metric}{{replica="{replica_id}",tier="{tier_name}"}} {value}'
+                )
+            else:
+                lines.append(f'{metric}{{replica="{replica_id}"}} {value}')
     if healthy is not None:
         lines.append("# TYPE repro_serving_healthy gauge")
         for replica_id, ok in healthy.items():

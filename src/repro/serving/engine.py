@@ -26,7 +26,7 @@ Typical use::
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -45,12 +45,23 @@ PLACEHOLDER_TOKEN = 0
 
 @dataclass
 class RequestHandle:
-    """Live view of one submitted request."""
+    """Live view of one submitted request.
+
+    ``transfer_ms`` / ``migrated_pages`` carry the modeled KV hand-off cost
+    for requests adopted from another serving tier (see
+    :meth:`ServingEngine.adopt`); both are zero for ordinary submissions.
+    ``retain_kv`` marks a request whose backend KV must survive retirement
+    because a disaggregated cluster will hand it off to a decode tier
+    (:meth:`ServingEngine.retain_kv_on_finish`).
+    """
 
     request: Request
     state: RequestState
     output_tokens: list[int] = field(default_factory=list)
     record: RequestRecord | None = None
+    transfer_ms: float = 0.0
+    migrated_pages: int = 0
+    retain_kv: bool = False
     _rng: np.random.Generator | None = None
 
     @property
@@ -80,9 +91,11 @@ class StepOutcome:
 
     ``kind`` is ``"prefill"`` (a fresh request was admitted and prefilled),
     ``"resume"`` (a preempted request was re-admitted and its KV recomputed),
-    ``"decode"`` (one decode iteration over the running batch), or ``"idle"``
-    (the clock jumped to the next arrival).  ``preempted_ids`` lists requests
-    evicted under KV pressure immediately before a decode iteration.
+    ``"decode"`` (one decode iteration over the running batch), ``"attach"``
+    (an adopted request's migrated KV joined the decode batch, see
+    :meth:`ServingEngine.adopt`), or ``"idle"`` (the clock jumped to the next
+    arrival).  ``preempted_ids`` lists requests evicted under KV pressure
+    immediately before a decode iteration.
 
     ``emitted_tokens`` reports every token the step produced, in order, as
     ``(request_id, token_id)`` pairs — one pair for a prefill (the first
@@ -92,7 +105,7 @@ class StepOutcome:
     delivered to per-request streams the moment the step returns.
     """
 
-    kind: str  # "prefill" | "resume" | "decode" | "idle"
+    kind: str  # "prefill" | "resume" | "decode" | "attach" | "idle"
     clock_s: float
     elapsed_s: float
     request_ids: tuple[str, ...] = ()
@@ -130,29 +143,16 @@ class ServingEngine:
         self.aborted_ids: list[str] = []
         self._handles: dict[str, RequestHandle] = {}
         self._arrivals: list[Request] = []  # sorted by arrival time (FCFS ties stable)
+        #: Ids adopted via :meth:`adopt` whose migrated KV is materialised on
+        #: the backend but not yet attached to the decode batch.
+        self._adopted_ready: set[str] = set()
 
     # -- submission ---------------------------------------------------------------
     def submit(self, request: Request) -> RequestHandle:
         """Register a request; it is admitted once the clock reaches its arrival."""
         if request.request_id in self._handles:
             raise ValueError(f"duplicate request_id {request.request_id!r}")
-        if request.prompt_token_ids is None and getattr(
-            self.backend, "produces_logits", False
-        ):
-            raise ValueError(
-                f"request {request.request_id!r} carries no prompt_token_ids but the "
-                "backend produces real logits; a length-only request would silently "
-                "generate from a placeholder prompt. Build it with Request.from_prompt()."
-            )
-        if request.prompt_token_ids is None and getattr(
-            self.backend, "requires_token_content", False
-        ):
-            raise ValueError(
-                f"request {request.request_id!r} carries no prompt_token_ids but the "
-                "backend's prefix-cache model matches on token content; length-only "
-                "requests all share the placeholder prompt and would spuriously hit. "
-                "Generate the trace with with_token_ids=True."
-            )
+        self._validate_token_content(request)
         self.scheduler.config.validate_request_fits(request)
         handle = RequestHandle(request=request, state=RequestState(request=request))
         params = request.sampling or self.default_sampling
@@ -160,6 +160,80 @@ class ServingEngine:
         self._handles[request.request_id] = handle
         insort(self._arrivals, request, key=lambda r: r.arrival_time_s)
         return handle
+
+    def adopt(
+        self,
+        request: Request,
+        *,
+        output_tokens: list[int],
+        rng: np.random.Generator | None = None,
+        prefill_finish_time_s: float,
+        ready_time_s: float,
+        transfer_ms: float = 0.0,
+        migrated_pages: int = 0,
+    ) -> RequestHandle:
+        """Take over a request whose prompt KV was migrated from another tier.
+
+        The disaggregated-serving hand-off path: a *prefill* replica computed
+        the prompt KV and the first token(s); the pages were imported into
+        this engine's backend (``backend.handoff_in``) and this engine now
+        owns the decode phase.  ``output_tokens`` are the tokens already
+        produced (at least the prefill token), ``rng`` is the request's
+        sampling generator carried over so later sampled tokens match a
+        single-replica run, ``prefill_finish_time_s`` preserves the true
+        first-token timestamp, and ``ready_time_s`` is when the migrated KV
+        becomes usable here (prefill finish + modeled transfer latency) — the
+        request joins the decode batch no earlier than that, so the transfer
+        delay is realised on this engine's virtual clock.
+
+        The returned handle keeps the *original* request (true arrival time),
+        so its eventual :class:`~repro.serving.metrics.RequestRecord` reports
+        end-to-end TTFT/TPOT across both tiers plus ``transfer_ms`` /
+        ``migrated_pages``.  The backend KV must already exist under the
+        request id; it is accounted by the scheduler once the request attaches
+        (a one-step accounting gap that mirrors in-flight transfers).
+        """
+        if request.request_id in self._handles:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        if not output_tokens:
+            raise ValueError("adopt() requires at least the prefill token")
+        if len(output_tokens) >= request.max_new_tokens:
+            raise ValueError(
+                f"request {request.request_id!r} already produced all "
+                f"{request.max_new_tokens} tokens; nothing to decode"
+            )
+        self._validate_token_content(request)
+        self.scheduler.config.validate_request_fits(request)
+        state = RequestState(request=request)
+        state.generated_tokens = len(output_tokens)
+        state.prefill_finish_time_s = prefill_finish_time_s
+        handle = RequestHandle(
+            request=request,
+            state=state,
+            output_tokens=[int(t) for t in output_tokens],
+            transfer_ms=float(transfer_ms),
+            migrated_pages=int(migrated_pages),
+        )
+        if rng is None:
+            params = request.sampling or self.default_sampling
+            rng = np.random.default_rng(params.seed)
+        handle._rng = rng
+        self._handles[request.request_id] = handle
+        self._adopted_ready.add(request.request_id)
+        shadow = replace(request, arrival_time_s=max(0.0, ready_time_s))
+        insort(self._arrivals, shadow, key=lambda r: r.arrival_time_s)
+        return handle
+
+    def retain_kv_on_finish(self, request_id: str) -> None:
+        """Keep the request's backend KV alive when it retires.
+
+        Used by disaggregated clusters on the *prefill* tier: the request
+        finishes there after its first token, but its KV pages must survive
+        retirement so ``backend.handoff_out`` can export them to a decode
+        replica.  The caller owns the eventual release (hand-off or explicit
+        ``backend.release``).  Unknown ids raise ``KeyError``.
+        """
+        self._handles[request_id].retain_kv = True
 
     def handle(self, request_id: str) -> RequestHandle:
         """Look up the live handle of a submitted request."""
@@ -208,6 +282,11 @@ class ServingEngine:
             was_running = self.scheduler.remove(state)
             if was_running and state.status is RequestStatus.DECODING:
                 self.backend.release(handle.seq_id)
+        if request_id in self._adopted_ready:
+            # Adopted-but-unattached: the migrated KV is already materialised
+            # on the backend even though the state never left WAITING.
+            self._adopted_ready.discard(request_id)
+            self.backend.release(handle.seq_id)
         state.mark_cancelled(self.clock_s)
         self.aborted_ids.append(request_id)
         self.decision_log.append(f"abort:{request_id}")
@@ -248,6 +327,8 @@ class ServingEngine:
 
         state = self.scheduler.schedule_prefill()
         if state is not None:
+            if state.request.request_id in self._adopted_ready:
+                return self._step_attach(state)
             if state.status is RequestStatus.PREEMPTED:
                 return self._step_resume(state)
             return self._step_prefill(state)
@@ -312,6 +393,24 @@ class ServingEngine:
         return list(handle.output_tokens)
 
     # -- internals ----------------------------------------------------------------
+    def _validate_token_content(self, request: Request) -> None:
+        """Reject length-only requests on backends that need real token ids."""
+        if request.prompt_token_ids is not None:
+            return
+        if getattr(self.backend, "produces_logits", False):
+            raise ValueError(
+                f"request {request.request_id!r} carries no prompt_token_ids but the "
+                "backend produces real logits; a length-only request would silently "
+                "generate from a placeholder prompt. Build it with Request.from_prompt()."
+            )
+        if getattr(self.backend, "requires_token_content", False):
+            raise ValueError(
+                f"request {request.request_id!r} carries no prompt_token_ids but the "
+                "backend's prefix-cache model matches on token content; length-only "
+                "requests all share the placeholder prompt and would spuriously hit. "
+                "Generate the trace with with_token_ids=True."
+            )
+
     def _admit_arrived(self) -> None:
         while self._arrivals and self._arrivals[0].arrival_time_s <= self.clock_s:
             self.scheduler.submit_state(
@@ -337,6 +436,29 @@ class ServingEngine:
             request_ids=(handle.request_id,),
             finished_ids=finished,
             emitted_tokens=((handle.request_id, handle.output_tokens[-1]),),
+        )
+
+    def _step_attach(self, state: RequestState) -> StepOutcome:
+        """Attach an adopted request's migrated KV to the decode batch.
+
+        The KV pages already live on this backend (imported by
+        ``backend.handoff_in`` before :meth:`adopt`), so no backend work runs
+        and no time elapses; the step flips the request to ``DECODING`` while
+        *preserving* the prefill-tier first-token timestamp — calling
+        ``record_prefill`` here would restamp TTFT with the attach time.  No
+        token is emitted: everything in ``output_tokens`` was already
+        delivered by the prefill tier.
+        """
+        handle = self._handles[state.request.request_id]
+        state.record_scheduled(self.clock_s)
+        self._adopted_ready.discard(state.request.request_id)
+        state.status = RequestStatus.DECODING
+        self.decision_log.append(f"attach:{handle.request_id}")
+        return StepOutcome(
+            kind="attach",
+            clock_s=self.clock_s,
+            elapsed_s=0.0,
+            request_ids=(handle.request_id,),
         )
 
     def _step_resume(self, state: RequestState) -> StepOutcome:
@@ -457,7 +579,8 @@ class ServingEngine:
         finished_ids = []
         for state in self.scheduler.retire_finished():
             handle = self._handles[state.request.request_id]
-            self.backend.release(handle.seq_id)
+            if not handle.retain_kv:
+                self.backend.release(handle.seq_id)
             handle.record = RequestRecord(
                 request_id=handle.request_id,
                 arrival_time_s=handle.request.arrival_time_s,
@@ -469,6 +592,8 @@ class ServingEngine:
                 preemptions=state.preemptions,
                 scheduled_time_s=state.scheduled_time_s,
                 preempted_stall_s=state.preempted_stall_s,
+                transfer_ms=handle.transfer_ms,
+                migrated_pages=handle.migrated_pages,
             )
             self.metrics.add(handle.record)
             finished_ids.append(handle.request_id)

@@ -265,6 +265,29 @@ class AsyncServingEngine:
         self._wake.set()
         return handle
 
+    def adopt(self, request: Request, **kwargs) -> AsyncRequestHandle:
+        """Adopt a request whose KV was migrated here from another tier.
+
+        Async wrapper over :meth:`ServingEngine.adopt` (same keyword
+        arguments): registers a stream handle, wakes the drive loop, and
+        returns the handle.  Only tokens generated *on this tier* are
+        delivered through :meth:`AsyncRequestHandle.stream` — the prefill
+        tier already delivered the earlier ones — while ``output_tokens`` /
+        ``result()`` report the complete sequence.
+        """
+        if self._failure is not None:
+            raise RuntimeError(
+                "the serving drive loop failed; adoption refused"
+            ) from self._failure
+        if self._draining:
+            raise RuntimeError("engine is draining or shut down; adoption refused")
+        sync_handle = self.engine.adopt(request, **kwargs)
+        handle = AsyncRequestHandle(sync_handle, self)
+        self._handles[request.request_id] = handle
+        self.start()
+        self._wake.set()
+        return handle
+
     def handle(self, request_id: str) -> AsyncRequestHandle:
         """Look up the async handle of an *in-flight* request.
 

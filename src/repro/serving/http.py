@@ -199,6 +199,10 @@ class CompletionServer:
             body["replicas"] = replicas
             if not any(replicas.values()):
                 body["status"] = "unhealthy"
+        # Disaggregated / role-aware clusters also report pool membership.
+        pools = getattr(self.engine, "pools", None)
+        if pools is not None:
+            body["pools"] = pools()
         return body
 
     async def _completions(self, writer: asyncio.StreamWriter, body: bytes) -> None:

@@ -123,6 +123,10 @@ class RequestRecord:
       including the recompute itself).
     * ``scheduled_time_s`` — clock (s) of *first* admission for prefill
       (``None`` on legacy records that predate preemptive scheduling).
+    * ``transfer_ms`` — modeled KV-migration latency (milliseconds) charged
+      when the request was handed off between serving tiers (0.0 when it was
+      served by one replica end to end).
+    * ``migrated_pages`` — physical KV pages migrated in that hand-off.
     """
 
     request_id: str
@@ -135,6 +139,8 @@ class RequestRecord:
     preemptions: int = 0
     scheduled_time_s: float | None = None
     preempted_stall_s: float = 0.0
+    transfer_ms: float = 0.0
+    migrated_pages: int = 0
 
     @property
     def ttft_s(self) -> float:
@@ -294,6 +300,25 @@ class ServingMetrics:
     def total_generated_tokens(self) -> int:
         """Sum of generated tokens across all recorded requests."""
         return int(sum(r.generated_tokens for r in self.records))
+
+    def total_migrated_pages(self) -> int:
+        """Physical KV pages migrated between tiers, over all records."""
+        return int(sum(r.migrated_pages for r in self.records))
+
+    def mean_transfer_ms(self, priority: int | None = None) -> float:
+        """Mean modeled hand-off latency over *migrated* requests, in ms.
+
+        Requests served by one replica end to end carry no transfer and are
+        excluded rather than averaged in as zero; 0.0 when nothing migrated.
+        """
+        samples = [
+            r.transfer_ms
+            for r in self._select(priority)
+            if r.migrated_pages > 0 or r.transfer_ms > 0
+        ]
+        if not samples:
+            return 0.0
+        return float(np.mean(samples))
 
     def makespan_s(self) -> float:
         """Seconds from the first arrival to the last finish (0.0 with no records)."""

@@ -34,7 +34,14 @@ DOC_FILES = sorted(
 
 #: Files that must contain at least one runnable block (a regression guard:
 #: if extraction silently broke, these would otherwise "pass" as empty).
-EXPECT_SNIPPETS = {"README.md", "serving.md", "async_serving.md", "api.md", "cluster.md"}
+EXPECT_SNIPPETS = {
+    "README.md",
+    "serving.md",
+    "async_serving.md",
+    "api.md",
+    "cluster.md",
+    "disaggregation.md",
+}
 
 _FENCE = re.compile(
     r"^```python[ \t]*\n(?P<body>.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL

@@ -1,0 +1,116 @@
+"""Tests for the KV-migration transfer cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.systems import lserve_policy
+from repro.gpu.cost_model import TransferCostModel
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B
+from repro.serving import SimulatedBackend
+
+GEOM = dict(page_size=16, n_layers=32, n_kv_heads=8, head_dim=128, kv_bits=16)
+
+
+def test_page_bytes_formula():
+    model = TransferCostModel()
+    expected = 16 * 32 * 8 * 128 * 2 * (16 / 8)
+    assert model.page_bytes(**GEOM) == expected
+
+
+def test_transfer_bytes_scale_linearly_in_pages():
+    model = TransferCostModel()
+    one = model.transfer_bytes(1, **GEOM)
+    assert model.transfer_bytes(7, **GEOM) == pytest.approx(7 * one)
+
+
+def test_latency_monotone_in_page_count():
+    model = TransferCostModel()
+    latencies = [model.transfer_latency_s(n, **GEOM) for n in range(0, 64, 4)]
+    assert all(b > a for a, b in zip(latencies, latencies[1:]))
+
+
+def test_zero_pages_costs_only_base_latency():
+    model = TransferCostModel(bandwidth_bytes_per_s=1e9, base_latency_s=2.5e-3)
+    assert model.transfer_bytes(0, **GEOM) == 0.0
+    assert model.transfer_latency_s(0, **GEOM) == pytest.approx(2.5e-3)
+
+
+def test_latency_decomposes_into_base_plus_wire_time():
+    model = TransferCostModel(bandwidth_bytes_per_s=5e10, base_latency_s=1e-3)
+    payload = model.transfer_bytes(12, **GEOM)
+    assert model.transfer_latency_s(12, **GEOM) == pytest.approx(
+        1e-3 + payload / 5e10
+    )
+
+
+def test_halving_kv_bits_halves_payload():
+    model = TransferCostModel()
+    fp16 = model.transfer_bytes(4, **GEOM)
+    int8 = model.transfer_bytes(4, **{**GEOM, "kv_bits": 8})
+    assert int8 == pytest.approx(fp16 / 2)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(bandwidth_bytes_per_s=0.0),
+        dict(bandwidth_bytes_per_s=-1.0),
+        dict(base_latency_s=-1e-3),
+    ],
+)
+def test_invalid_construction_rejected(kwargs):
+    with pytest.raises(ValueError):
+        TransferCostModel(**kwargs)
+
+
+def test_invalid_geometry_rejected():
+    model = TransferCostModel()
+    with pytest.raises(ValueError):
+        model.page_bytes(**{**GEOM, "page_size": 0})
+    with pytest.raises(ValueError):
+        model.transfer_bytes(-1, **GEOM)
+
+
+def test_round_trip_with_simulated_backend_timing_units():
+    """A SimulatedBackend hand-off prices exactly like the cost model.
+
+    The backend's hand-off geometry comes from the same LatencySimulator that
+    bills every prefill/decode call, so a transfer latency computed through
+    :class:`KVHandoff` is in the same virtual-clock seconds as
+    ``StepResult.elapsed_s``.
+    """
+    latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+    backend = SimulatedBackend(latency)
+    n_tokens = 1_000
+    backend.prefill("seq", np.zeros(n_tokens, dtype=np.int64))
+    handoff = backend.handoff_out("seq")
+
+    model = TransferCostModel()
+    cfg = latency.model
+    policy = latency.policy
+    expected_pages = -(-n_tokens // policy.page_size)
+    assert handoff.n_pages == expected_pages
+    direct = model.transfer_latency_s(
+        expected_pages,
+        page_size=policy.page_size,
+        n_layers=cfg.n_layers,
+        n_kv_heads=cfg.n_kv_heads,
+        head_dim=cfg.head_dim,
+        kv_bits=policy.kv_bits,
+    )
+    assert handoff.transfer_latency_s(model) == pytest.approx(direct)
+    assert handoff.transfer_bytes(model) == pytest.approx(
+        model.transfer_bytes(
+            expected_pages,
+            page_size=policy.page_size,
+            n_layers=cfg.n_layers,
+            n_kv_heads=cfg.n_kv_heads,
+            head_dim=cfg.head_dim,
+            kv_bits=policy.kv_bits,
+        )
+    )
+    # Seconds, like every other simulated-backend bill: a decode step and the
+    # transfer live on the same clock and can be summed directly.
+    assert handoff.transfer_latency_s(model) > model.base_latency_s
