@@ -81,6 +81,9 @@ class EngineStats:
     #: being recomputed.  ``prefill_tokens`` counts *computed* tokens, so
     #: ``prefill_tokens + prefix_hit_tokens`` is the total prompt volume seen.
     prefix_hit_tokens: int = 0
+    #: Demoted prefix-index pages brought back from the cold tier at attach
+    #: time (each one saved a page of recompute but owes a restore transfer).
+    restored_prefix_pages: int = 0
 
     @property
     def prefill_block_sparsity(self) -> float:
@@ -167,6 +170,10 @@ class LServeEngine:
             reuse_interval=config.reuse_interval,
         )
         self.stats = EngineStats()
+        # With a cold KV tier configured (a tiering-enabled backend flips
+        # this), prefix eviction demotes page images host-side instead of
+        # hard-dropping them; see _prefix_page_image.
+        self.prefix_demote_enabled = False
 
         # Query-head bookkeeping for the two head groups.
         group = cfg.gqa_group_size
@@ -229,6 +236,16 @@ class LServeEngine:
         """Tokens currently held in the KV cache for ``seq_id``."""
         return self.cache.seq_len(seq_id)
 
+    def last_attended(self, seq_id: object) -> int:
+        """Allocator access-clock stamp of the sequence's most recent KV read.
+
+        The LRU demotion policy of the cold KV tier orders victims by this;
+        0 for a sequence whose dense pages were never read (or when there are
+        no dense heads).
+        """
+        dense = self.cache.dense_cache
+        return dense.last_attended(seq_id) if dense is not None else 0
+
     def handoff_out(self, seq_id: object) -> DualSequenceExport:
         """Export a sequence's KV state for migration and release it locally.
 
@@ -260,7 +277,7 @@ class LServeEngine:
             and not dense.allocator.can_allocate(export.n_pages)
             and self.prefix_cache is not None
         ):
-            self.prefix_cache.evict_until(export.n_pages)
+            self.prefix_cache.evict_until(export.n_pages, page_image=self._prefix_page_image())
         return self.cache.import_sequence(seq_id, export)
 
     # -- serving entry points ------------------------------------------------------
@@ -337,6 +354,27 @@ class LServeEngine:
         if n_pages == 0:
             return 0
         chain = chain[:n_pages]
+        dense = self.cache.dense_cache
+        if dense is not None:
+            # Bring demoted (cold-tier) chain nodes back before attaching;
+            # a node that cannot be restored truncates the usable prefix.
+            usable = 0
+            for node in chain:
+                if node.is_cold:
+                    if not dense.allocator.can_allocate(1):
+                        break
+                    restored_page = dense.install_page_image(node.cold_k, node.cold_v)
+                    self.prefix_cache.adopt_restored(node, restored_page)
+                    self.stats.restored_prefix_pages += 1
+                elif node.page is None:
+                    break
+                usable += 1
+            if usable < len(chain):
+                matched = ((usable * page) // align) * align
+                n_pages = matched // page
+                if n_pages == 0:
+                    return 0
+                chain = chain[:n_pages]
         cfg = self.model.config
         dense_pages = [node.page for node in chain]
         dense_stats = None
@@ -397,6 +435,13 @@ class LServeEngine:
 
         self.prefix_cache.register(token_ids, pages, stats_for_page, streaming_for_page)
 
+    def _prefix_page_image(self):
+        """Cold-demotion callback for prefix eviction (``None`` when disabled)."""
+        dense = self.cache.dense_cache
+        if not self.prefix_demote_enabled or dense is None:
+            return None
+        return dense.page_image
+
     def _reserve_pages(self, seq_id: object, n_new_tokens: int) -> None:
         """Reserve KV pages for an append, evicting prefix-index pages if needed."""
         if n_new_tokens <= 0:
@@ -406,7 +451,7 @@ class LServeEngine:
             return
         required = self.cache.pages_required(seq_id, n_new_tokens)
         if not dense.allocator.can_allocate(required) and self.prefix_cache is not None:
-            self.prefix_cache.evict_until(required)
+            self.prefix_cache.evict_until(required, page_image=self._prefix_page_image())
         self.cache.prepare_append(seq_id, n_new_tokens)
 
     def decode(self, seq_id: object, token_id: int) -> np.ndarray:

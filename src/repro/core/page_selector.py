@@ -150,6 +150,31 @@ class ReusablePageSelector:
         for key in stale:
             del self._cache[key]
 
+    def export_sequence(self, seq_id: object) -> dict:
+        """Snapshot one sequence's cached selections (KV-tiering demote support).
+
+        A demoted-then-restored sequence must resume with the *same* cached
+        selections and reuse phase it had, or the reuse-interval boundaries
+        shift and decode outputs diverge from an uninterrupted run.  Returns a
+        private copy keyed exactly like the cache.
+        """
+        out: dict[object, _CacheEntry] = {}
+        for key, entry in self._cache.items():
+            if key == seq_id or (
+                isinstance(key, tuple) and len(key) > 0 and key[0] == seq_id
+            ):
+                out[key] = _CacheEntry(
+                    selection=entry.selection, queries_served=entry.queries_served
+                )
+        return out
+
+    def import_sequence(self, state: dict) -> None:
+        """Reinstall cache entries captured by :meth:`export_sequence`."""
+        for key, entry in state.items():
+            self._cache[key] = _CacheEntry(
+                selection=entry.selection, queries_served=entry.queries_served
+            )
+
     def select(
         self,
         key: object,

@@ -21,6 +21,17 @@ from repro.kvcache.kv_stats import PageKeyStats, compute_page_key_stats, merge_k
 from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
 from repro.kvcache.dual_cache import DualPagedKVCache, StreamingKVStore
 from repro.kvcache.prefix_index import PrefixIndex, PrefixNode
+from repro.kvcache.tiering import (
+    EVICTION_POLICIES,
+    ColdEntry,
+    ColdTierError,
+    ColdTierStore,
+    EvictionPolicy,
+    KVTieringConfig,
+    LRUEvictionPolicy,
+    compress_page_images,
+    make_eviction_policy,
+)
 
 __all__ = [
     "OutOfPagesError",
@@ -39,4 +50,13 @@ __all__ = [
     "StreamingKVStore",
     "PrefixIndex",
     "PrefixNode",
+    "KVTieringConfig",
+    "ColdTierStore",
+    "ColdTierError",
+    "ColdEntry",
+    "EvictionPolicy",
+    "LRUEvictionPolicy",
+    "EVICTION_POLICIES",
+    "make_eviction_policy",
+    "compress_page_images",
 ]

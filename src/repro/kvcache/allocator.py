@@ -11,6 +11,18 @@ sharer, and ``decref`` drops one reference — the page returns to the free
 list only when its last reference is gone.  ``free`` is kept as an alias
 for ``decref`` (the single-owner special case), and over-releasing a page
 raises exactly like a double free always has.
+
+For cold-tier eviction the allocator also keeps two advisory structures
+used by :mod:`repro.kvcache.tiering` eviction policies:
+
+* an **access clock** — ``touch(page)`` stamps a page with a monotonically
+  increasing counter and ``last_used(page)`` reads the stamp back, giving
+  LRU-by-last-attended ordering without the caches having to keep their own
+  bookkeeping;
+* **pins** — ``pin(page)`` marks a page as not victimizable (the prefix
+  index pins the pages it holds); freeing a pinned page raises, so a pin
+  is also a safety net against the pinner's reference being dropped out
+  from under it.
 """
 
 from __future__ import annotations
@@ -32,6 +44,10 @@ class PageAllocator:
         # LIFO free list: reusing recently freed pages keeps the working set hot.
         self._free: list[int] = list(range(num_pages - 1, -1, -1))
         self._refcounts: dict[int, int] = {}
+        # Advisory eviction-policy state (see module docstring).
+        self._clock = 0
+        self._last_used: dict[int, int] = {}
+        self._pinned: set[int] = set()
 
     @property
     def capacity(self) -> int:
@@ -61,6 +77,50 @@ class PageAllocator:
     def can_allocate(self, n: int = 1) -> bool:
         """Whether ``n`` pages can be allocated without raising."""
         return self.num_free >= n
+
+    # -- eviction-policy support ------------------------------------------------
+    def touch(self, page: int) -> int:
+        """Stamp an allocated page with the next access-clock tick.
+
+        Returns the stamp.  Touching a free page raises — stale handles must
+        not resurrect eviction state.
+        """
+        if page not in self._refcounts:
+            raise ValueError(f"page {page} is not currently allocated")
+        self._clock += 1
+        self._last_used[page] = self._clock
+        return self._clock
+
+    def touch_many(self, pages: list[int]) -> None:
+        """Stamp several pages with one shared access-clock tick."""
+        self._clock += 1
+        for page in pages:
+            if page not in self._refcounts:
+                raise ValueError(f"page {page} is not currently allocated")
+            self._last_used[page] = self._clock
+
+    def last_used(self, page: int) -> int:
+        """Access-clock stamp of the page's last touch (0 if never touched)."""
+        return self._last_used.get(page, 0)
+
+    def pin(self, page: int) -> None:
+        """Mark an allocated page as not victimizable by eviction policies."""
+        if page not in self._refcounts:
+            raise ValueError(f"page {page} is not currently allocated")
+        self._pinned.add(page)
+
+    def unpin(self, page: int) -> None:
+        """Clear a page's pin (a no-op when the page is not pinned)."""
+        self._pinned.discard(page)
+
+    def is_pinned(self, page: int) -> bool:
+        """Whether the page is currently pinned."""
+        return page in self._pinned
+
+    @property
+    def num_pinned(self) -> int:
+        """Number of currently pinned pages."""
+        return len(self._pinned)
 
     def allocate(self) -> int:
         """Allocate one physical page (refcount 1); raises :class:`OutOfPagesError` if full."""
@@ -98,10 +158,13 @@ class PageAllocator:
         """
         if page not in self._refcounts:
             raise ValueError(f"page {page} is not currently allocated")
+        if self._refcounts[page] == 1 and page in self._pinned:
+            raise ValueError(f"page {page} is pinned and cannot be freed")
         self._refcounts[page] -= 1
         remaining = self._refcounts[page]
         if remaining == 0:
             del self._refcounts[page]
+            self._last_used.pop(page, None)
             self._free.append(page)
         return remaining
 

@@ -434,6 +434,8 @@ class PagedKVCache:
         """Return all cached keys/values of shape ``(n_tokens, n_kv_heads, head_dim)``."""
         table = self._table(seq_id)
         n_tokens = self._tokens[(seq_id, layer)]
+        if table.pages:
+            self.allocator.touch_many(table.pages)
         return self._gather_token_range(table, layer, n_tokens)
 
     def _gather_token_range(
@@ -466,6 +468,8 @@ class PagedKVCache:
         positions = np.asarray(sorted(set(int(p) for p in np.asarray(page_positions).ravel())))
         if positions.size and (positions.min() < 0 or positions.max() >= table.num_pages):
             raise IndexError("page position out of range")
+        if positions.size:
+            self.allocator.touch_many([table.pages[pos] for pos in positions])
         ks, vs, toks = [], [], []
         for pos in positions:
             page = table.pages[pos]
@@ -507,6 +511,55 @@ class PagedKVCache:
         """
         self._table(seq_id)
         return self._key_stats[(seq_id, layer)]
+
+    # -- tiering support ---------------------------------------------------------
+    def sequence_pages(self, seq_id: object) -> list[int]:
+        """The sequence's physical page ids, in table order (a private copy).
+
+        Feeds the :class:`~repro.kvcache.tiering.EvictionPolicy` owners
+        mapping; raises ``KeyError`` for an unknown sequence.
+        """
+        return list(self._table(seq_id).pages)
+
+    def last_attended(self, seq_id: object) -> int:
+        """Newest allocator access-clock stamp over the sequence's pages.
+
+        The LRU eviction policy uses this as the sequence's recency: one
+        recently attended page keeps the whole sequence hot.  0 for a
+        sequence whose pages were never read.
+        """
+        table = self._table(seq_id)
+        return max((self.allocator.last_used(p) for p in table.pages), default=0)
+
+    def page_image(self, page: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Deep-copied per-layer ``(k, v)`` images of one physical page.
+
+        The raw material of a prefix-index cold demotion: the caller parks
+        the images host-side, drops its page reference, and later reinstalls
+        them with :meth:`install_page_image`.
+        """
+        if self.allocator.refcount(page) == 0:
+            raise ValueError(f"page {page} is not currently allocated")
+        k = [self._k_store[layer][page].copy() for layer in range(self.config.n_layers)]
+        v = [self._v_store[layer][page].copy() for layer in range(self.config.n_layers)]
+        return k, v
+
+    def install_page_image(
+        self, k_per_layer: list[np.ndarray], v_per_layer: list[np.ndarray]
+    ) -> int:
+        """Allocate a fresh page (refcount 1) and bit-copy images into it.
+
+        The restore half of a prefix-index demotion; raises
+        :class:`OutOfPagesError` when the pool is full.
+        """
+        cfg = self.config
+        if len(k_per_layer) != cfg.n_layers or len(v_per_layer) != cfg.n_layers:
+            raise ValueError("page images must have one entry per layer")
+        page = self.allocator.allocate()
+        for layer in range(cfg.n_layers):
+            self._k_store[layer][page] = k_per_layer[layer]
+            self._v_store[layer][page] = v_per_layer[layer]
+        return page
 
     # -- accounting --------------------------------------------------------------
     def memory_bytes_model(self, seq_id: object | None = None) -> float:

@@ -19,6 +19,15 @@ same prefix can **attach** the matched pages instead of recomputing them
 Nodes are evicted least-recently-used, leaves first, when the page pool runs
 dry (:meth:`PrefixIndex.evict_until`); dropping the index's reference frees
 the page only once no sequence references it either.
+
+The index **pins** the pages it holds in the allocator, marking them as not
+victimizable by sequence-level eviction policies.  With a cold KV tier
+enabled (:mod:`repro.kvcache.tiering`), idle entries *demote* before they
+are dropped: eviction parks a node's per-layer page images host-side
+(``cold_k``/``cold_v``), unpins and releases the physical page, and keeps
+the node in the trie — a later prompt with the same prefix restores the page
+(:meth:`PrefixIndex.adopt_restored`) at a modeled transfer cost instead of
+recomputing it.
 """
 
 from __future__ import annotations
@@ -44,10 +53,18 @@ class PrefixNode:
     parent: "PrefixNode | None" = None
     children: dict[tuple[int, ...], "PrefixNode"] = field(default_factory=dict)
     last_used: int = 0
+    #: Per-layer page images parked host-side while the node is demoted.
+    cold_k: list[np.ndarray] | None = None
+    cold_v: list[np.ndarray] | None = None
 
     @property
     def is_leaf(self) -> bool:
         return not self.children
+
+    @property
+    def is_cold(self) -> bool:
+        """Whether the node's dense page currently lives in the cold tier."""
+        return self.page is None and self.cold_k is not None
 
 
 class PrefixIndex:
@@ -67,6 +84,8 @@ class PrefixIndex:
         self.hit_tokens = 0
         self.miss_tokens = 0
         self.evicted_pages = 0
+        self.demoted_pages = 0
+        self.restored_pages = 0
 
     # -- introspection ----------------------------------------------------------
     @property
@@ -83,6 +102,18 @@ class PrefixIndex:
             node = stack.pop()
             stack.extend(node.children.values())
             if node.page is not None:
+                count += 1
+        return count
+
+    @property
+    def cold_nodes(self) -> int:
+        """Nodes whose page images are currently parked in the cold tier."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            if node.is_cold:
                 count += 1
         return count
 
@@ -150,6 +181,7 @@ class PrefixIndex:
                     if self.allocator is None:
                         raise RuntimeError("an allocator is required to pin dense pages")
                     self.allocator.incref(page)
+                    self.allocator.pin(page)
                 child = PrefixNode(
                     token_block=block,
                     page=page,
@@ -170,26 +202,76 @@ class PrefixIndex:
         assert node.parent is not None and not node.children
         del node.parent.children[node.token_block]
         self._num_nodes -= 1
+        node.cold_k = node.cold_v = None
         if node.page is not None:
+            self.allocator.unpin(node.page)
             self.allocator.decref(node.page)
             self.evicted_pages += 1
 
-    def evict_until(self, min_free: int) -> bool:
-        """Drop LRU leaves until the allocator has ``min_free`` free pages.
+    def _demote(self, node: PrefixNode, page_image) -> None:
+        """Park a node's page images host-side and release the physical page."""
+        assert node.page is not None
+        node.cold_k, node.cold_v = page_image(node.page)
+        self.allocator.unpin(node.page)
+        self.allocator.decref(node.page)
+        node.page = None
+        self.demoted_pages += 1
 
-        Dropping the index's reference only frees a page once no live
-        sequence shares it, so eviction keeps retiring leaves until the
-        target is met or the trie is empty.  Returns whether the target was
-        reached.  A no-op (``True``) when the index pins no dense pages.
+    def adopt_restored(self, node: PrefixNode, page: int) -> None:
+        """Re-attach a restored physical page to a demoted node.
+
+        The index takes ownership of ``page`` (which must carry the fresh
+        refcount-1 reference of
+        :meth:`~repro.kvcache.paged_cache.PagedKVCache.install_page_image`)
+        and pins it again.
+        """
+        if not node.is_cold:
+            raise ValueError("node is not demoted")
+        node.page = page
+        node.cold_k = node.cold_v = None
+        if self.allocator is not None:
+            self.allocator.pin(page)
+        self.restored_pages += 1
+
+    def evict_until(self, min_free: int, page_image=None) -> bool:
+        """Free pool pages until the allocator has ``min_free`` free.
+
+        With ``page_image`` (a callable ``page -> (k_per_layer,
+        v_per_layer)``, typically
+        :meth:`~repro.kvcache.paged_cache.PagedKVCache.page_image`) given,
+        cold-tier demotion runs first: least-recently-used nodes park their
+        page images host-side and release their pages, staying restorable.
+        Only if demotion cannot reach the target (or no cold tier is
+        configured) are LRU leaves hard-dropped.  Dropping or demoting the
+        index's reference only frees a page once no live sequence shares it,
+        so eviction keeps retiring nodes until the target is met or the trie
+        is exhausted.  Returns whether the target was reached.  A no-op
+        (``True``) when the index pins no dense pages.
         """
         if self.allocator is None:
             return True
+        if page_image is not None:
+            hot = [n for n in self._nodes() if n.page is not None]
+            hot.sort(key=lambda n: n.last_used)
+            for node in hot:
+                if self.allocator.num_free >= min_free:
+                    return True
+                self._demote(node, page_image)
         while self.allocator.num_free < min_free:
             leaves = self._leaves()
             if not leaves:
                 return False
             self._drop(min(leaves, key=lambda n: n.last_used))
         return True
+
+    def _nodes(self) -> list[PrefixNode]:
+        nodes = []
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            stack.extend(node.children.values())
+        return nodes
 
     def _leaves(self) -> list[PrefixNode]:
         leaves = []

@@ -25,7 +25,13 @@ resume).  Prefix sharing threads through the whole stack: backends report
 cache, watermarks charge each request only for its *unique* KV, and a
 backend-reported page exhaustion
 (:class:`~repro.core.engine.DecodeOutOfPagesError`) preempts exactly the
-failed sequences.  :mod:`repro.serving.workload` generates seeded
+failed sequences.  With a cold KV tier configured
+(:class:`~repro.kvcache.tiering.KVTieringConfig` on either backend), pressure
+victims are *demoted* instead — their KV pages move to a simulated host tier
+(bit-exact ``"offload"`` or lossy ``"quantized"``) and re-admission pays a
+modeled :class:`~repro.gpu.cost_model.TransferCostModel` restore instead of a
+full recompute; see ``docs/kv_tiering.md``.  :mod:`repro.serving.workload`
+generates seeded
 Poisson/bursty request traces from scenario presets (including the
 ``"shared_prefix"`` multi-tenant/multi-turn regime), and TTFT / per-token
 latency / throughput / SLO attainment are reported through the same
@@ -82,6 +88,11 @@ from repro.serving.cluster import (
     merge_live_gauges,
     render_cluster_prometheus,
 )
+from repro.kvcache.tiering import (
+    ColdTierError,
+    ColdTierStore,
+    KVTieringConfig,
+)
 from repro.serving.engine import RequestHandle, ServingEngine, StepOutcome
 from repro.serving.frontend import (
     AsyncRequestHandle,
@@ -118,6 +129,9 @@ __all__ = [
     "LServeBackend",
     "SimulatedBackend",
     "StepResult",
+    "KVTieringConfig",
+    "ColdTierStore",
+    "ColdTierError",
     "RequestHandle",
     "ServingEngine",
     "StepOutcome",

@@ -28,6 +28,13 @@ from repro.core.engine import LServeEngine
 from repro.gpu.cost_model import TransferCostModel
 from repro.gpu.simulator import LatencySimulator
 from repro.kvcache.prefix_index import PrefixIndex
+from repro.kvcache.tiering import (
+    ColdTierError,
+    ColdTierStore,
+    KVTieringConfig,
+    compress_page_images,
+    make_eviction_policy,
+)
 
 __all__ = [
     "StepResult",
@@ -89,12 +96,16 @@ class StepResult:
     ``prefix_hit_tokens`` reports how many prompt tokens a prefill attached
     from a shared prefix instead of computing (0 when sharing is off); the
     serving engine uses it to account only *unique* KV against the
-    scheduler's watermarks.
+    scheduler's watermarks.  ``restored_pages`` / ``restore_s`` report pages
+    brought back from the cold KV tier by this call and the modeled transfer
+    latency folded into ``elapsed_s`` for them.
     """
 
     logits: np.ndarray | None
     elapsed_s: float
     prefix_hit_tokens: int = 0
+    restored_pages: int = 0
+    restore_s: float = 0.0
 
 
 @dataclass
@@ -194,7 +205,10 @@ class SimulatedBackend:
     produces_logits = False
 
     def __init__(
-        self, latency: LatencySimulator, prefix_block_tokens: int | None = None
+        self,
+        latency: LatencySimulator,
+        prefix_block_tokens: int | None = None,
+        tiering: KVTieringConfig | None = None,
     ) -> None:
         """``prefix_block_tokens`` enables a prefix-cache cost model.
 
@@ -205,13 +219,23 @@ class SimulatedBackend:
         ``prompt_token_ids`` — length-only requests all share the placeholder
         prompt and would spuriously match each other; the serving engine
         rejects them at submit via :attr:`requires_token_content`.
+
+        ``tiering`` enables the cold KV tier: :meth:`demote` parks a
+        sequence's modeled KV host-side and :meth:`restore` brings it back,
+        billing the config's transfer cost model.
         """
         if prefix_block_tokens is not None and prefix_block_tokens < 1:
             raise ValueError("prefix_block_tokens must be >= 1 when set")
         self.latency = latency
         self.prefix_block_tokens = prefix_block_tokens
+        self.tiering = tiering
         self.work = BackendWork()
         self._context: dict[object, int] = {}
+        self._cold = ColdTierStore(tiering.max_cold_pages) if tiering is not None else None
+        # Per-sequence attend stamps for LRU victim ranking (the simulator has
+        # no allocator access clock; a monotone counter plays its role).
+        self._attend_clock = 0
+        self._attend: dict[object, int] = {}
         self._prefix_index = (
             PrefixIndex(page_size=prefix_block_tokens)
             if prefix_block_tokens is not None
@@ -246,6 +270,8 @@ class SimulatedBackend:
             )
         elapsed = self.latency.prefill_latency(n - hit)
         self._context[seq_id] = n
+        self._attend_clock += 1
+        self._attend[seq_id] = self._attend_clock
         self.work.record_prefill(n - hit, elapsed)
         self.work.prefix_hit_tokens += hit
         return StepResult(logits=None, elapsed_s=elapsed, prefix_hit_tokens=hit)
@@ -261,8 +287,10 @@ class SimulatedBackend:
                 raise KeyError(f"unknown sequence {seq_id!r}")
         context = max(self._context[s] for s in seq_ids)
         elapsed = self.latency.decode_step_latency(context, batch=len(seq_ids))
+        self._attend_clock += 1
         for seq_id in seq_ids:
             self._context[seq_id] += 1
+            self._attend[seq_id] = self._attend_clock
         self.work.record_decode(len(seq_ids), elapsed)
         return StepResult(logits=None, elapsed_s=elapsed)
 
@@ -305,9 +333,89 @@ class SimulatedBackend:
             raise ValueError(f"sequence {seq_id!r} already exists")
         self._context[seq_id] = int(handoff.payload)
 
+    # -- cold KV tier ------------------------------------------------------------
+    def last_attended(self, seq_id: object) -> int:
+        """Monotone stamp of the sequence's last prefill/decode (0 = never)."""
+        return self._attend.get(seq_id, 0)
+
+    def demotion_order(self, seq_ids: list[object]) -> list[object]:
+        """Rank live demotion candidates, least-recently-attended first."""
+        live = [s for s in seq_ids if s in self._context]
+        return sorted(live, key=lambda s: self._attend.get(s, 0))
+
+    def demote(self, seq_id: object) -> int:
+        """Park a sequence's modeled KV in the cold tier; returns pages moved.
+
+        Raises :class:`~repro.kvcache.tiering.ColdTierError` when tiering is
+        off or the cold tier cannot take the pages (the engine then falls
+        back to classic recompute preemption), ``KeyError`` for an unknown
+        sequence.  The capacity check runs *before* the hand-off so a refusal
+        leaves the sequence untouched.
+        """
+        if self.tiering is None or self._cold is None:
+            raise ColdTierError("KV tiering is not enabled on this backend")
+        if seq_id not in self._context:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        n_pages = -(-self._context[seq_id] // self.latency.policy.page_size)
+        if not self._cold.can_accept(n_pages):
+            raise ColdTierError(
+                f"cold tier full: cannot accept {n_pages} pages for {seq_id!r}"
+            )
+        handoff = self.handoff_out(seq_id)
+        self._cold.put(seq_id, handoff, n_pages=handoff.n_pages, n_tokens=handoff.n_tokens)
+        self._attend.pop(seq_id, None)
+        return handoff.n_pages
+
+    def restore(self, seq_id: object) -> StepResult:
+        """Re-attach a demoted sequence, billing the modeled restore transfer.
+
+        Raises ``KeyError`` when the sequence has no cold entry.
+        """
+        if self._cold is None:
+            raise ColdTierError("KV tiering is not enabled on this backend")
+        entry = self._cold.pop(seq_id)
+        handoff: KVHandoff = entry.payload
+        try:
+            self.handoff_in(seq_id, handoff)
+        except Exception:
+            self._cold.unpop(seq_id, entry)
+            raise
+        cold_bits = self.tiering.cold_bits(handoff.kv_bits)
+        elapsed = self.tiering.restore_cost.transfer_latency_s(
+            handoff.n_pages, handoff.page_size, handoff.n_layers,
+            handoff.n_kv_heads, handoff.head_dim, cold_bits,
+        )
+        self._attend_clock += 1
+        self._attend[seq_id] = self._attend_clock
+        return StepResult(
+            logits=None,
+            elapsed_s=elapsed,
+            restored_pages=handoff.n_pages,
+            restore_s=elapsed,
+        )
+
+    def cold_pages(self) -> int:
+        """Pages currently parked in the cold tier (live-gauge support)."""
+        return self._cold.num_pages if self._cold is not None else 0
+
+    def cold_kv_tokens(self) -> int:
+        """KV tokens currently parked in the cold tier (live-gauge support)."""
+        return self._cold.num_tokens if self._cold is not None else 0
+
+    @property
+    def cold_store(self) -> ColdTierStore | None:
+        """The cold tier itself (``None`` when tiering is off)."""
+        return self._cold
+
     def release(self, seq_id: object) -> None:
-        """Forget the sequence's modelled context length (idempotent)."""
+        """Forget the sequence's modelled context length (idempotent).
+
+        Any cold-tier snapshot is dropped too (abort of a demoted request).
+        """
         self._context.pop(seq_id, None)
+        self._attend.pop(seq_id, None)
+        if self._cold is not None:
+            self._cold.discard(seq_id)
 
 
 class LServeBackend:
@@ -327,7 +435,16 @@ class LServeBackend:
         engine: LServeEngine,
         latency: LatencySimulator | None = None,
         prefill_chunk_size: int | None = None,
+        tiering: KVTieringConfig | None = None,
     ) -> None:
+        """``tiering`` enables the cold KV tier on this backend.
+
+        :meth:`demote` then round-trips real page images (bit-exact in
+        ``"offload"`` mode, re-quantized in ``"quantized"`` mode) through a
+        host-side :class:`~repro.kvcache.tiering.ColdTierStore`, and idle
+        prefix-index pages demote before they are hard-dropped
+        (``tiering.prefix_demotion``).
+        """
         if prefill_chunk_size is not None:
             q_block = engine.config.q_block_size
             page = engine.config.physical_page_size
@@ -345,8 +462,15 @@ class LServeBackend:
         self.engine = engine
         self.latency = latency
         self.prefill_chunk_size = prefill_chunk_size
+        self.tiering = tiering
         self.work = BackendWork()
         self._live_seq_ids: set = set()
+        self._cold = ColdTierStore(tiering.max_cold_pages) if tiering is not None else None
+        self._eviction = (
+            make_eviction_policy(tiering.eviction_policy) if tiering is not None else None
+        )
+        if tiering is not None and tiering.prefix_demotion:
+            engine.prefix_demote_enabled = True
 
     @property
     def stats(self):
@@ -362,6 +486,7 @@ class LServeBackend:
         """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         hits_before = self.engine.stats.prefix_hit_tokens
+        restored_before = self.engine.stats.restored_prefix_pages
         wall_start = time.perf_counter()
         logits = self.engine.prefill(seq_id, token_ids, chunk_size=self.prefill_chunk_size)
         wall = time.perf_counter() - wall_start
@@ -370,10 +495,26 @@ class LServeBackend:
         elapsed = (
             self.latency.prefill_latency(computed) if self.latency is not None else wall
         )
+        # Prefix pages re-attached from the cold tier owe their restore
+        # transfer on the serving clock (the hit tokens they cover were
+        # *not* billed as computed prefill).
+        restored = self.engine.stats.restored_prefix_pages - restored_before
+        restore_s = 0.0
+        if restored > 0 and self.tiering is not None:
+            restore_s = self.tiering.restore_cost.transfer_latency_s(
+                restored, *self._page_geometry(),
+            )
+            elapsed += restore_s
         self.work.record_prefill(computed, elapsed)
         self.work.prefix_hit_tokens += hit
         self._live_seq_ids.add(seq_id)
-        return StepResult(logits=logits[-1], elapsed_s=elapsed, prefix_hit_tokens=hit)
+        return StepResult(
+            logits=logits[-1],
+            elapsed_s=elapsed,
+            prefix_hit_tokens=hit,
+            restored_pages=restored,
+            restore_s=restore_s,
+        )
 
     def decode_batch(
         self, seq_ids: list[object], token_ids: list[int] | np.ndarray
@@ -432,7 +573,130 @@ class LServeBackend:
         self.engine.handoff_in(seq_id, handoff.payload)
         self._live_seq_ids.add(seq_id)
 
+    # -- cold KV tier ------------------------------------------------------------
+    def _page_geometry(self) -> tuple[int, int, int, int, int]:
+        """``(page_size, n_layers, n_kv_heads, head_dim, cold_bits)`` for restores."""
+        cfg = self.engine.model.config
+        dense = self.engine.cache.dense_cache
+        n_kv_heads = dense.config.n_kv_heads if dense is not None else cfg.n_kv_heads
+        cold_bits = (
+            self.tiering.cold_bits(self.engine.config.kv_bits)
+            if self.tiering is not None
+            else self.engine.config.kv_bits
+        )
+        return (
+            self.engine.config.physical_page_size,
+            cfg.n_layers,
+            n_kv_heads,
+            cfg.head_dim,
+            cold_bits,
+        )
+
+    def last_attended(self, seq_id: object) -> int:
+        """Allocator access-clock stamp of the sequence's last attended KV read."""
+        return self.engine.last_attended(seq_id)
+
+    def demotion_order(self, seq_ids: list[object]) -> list[object]:
+        """Rank live demotion candidates via the configured eviction policy.
+
+        Owners holding pinned (prefix-index) pages are filtered out by the
+        policy — those sequences fall back to recompute preemption.
+        """
+        live = [s for s in seq_ids if s in self._live_seq_ids]
+        dense = self.engine.cache.dense_cache
+        if dense is None or self._eviction is None:
+            return live
+        owners = {s: dense.sequence_pages(s) for s in live}
+        return self._eviction.order(dense.allocator, owners)
+
+    def demote(self, seq_id: object) -> int:
+        """Move a sequence's real KV pages to the cold tier; returns pages moved.
+
+        The hot pages return to the pool.  In ``"quantized"`` mode the parked
+        dense page images are round-tripped through ``cold_kv_bits``
+        quantization (lossy); ``"offload"`` keeps them bit-exact.  The
+        sequence's cached page selections travel with the snapshot so a later
+        :meth:`restore` resumes with the exact reuse-interval phase — without
+        that, restored decode outputs would diverge from an uninterrupted
+        run.  Raises :class:`~repro.kvcache.tiering.ColdTierError` when
+        tiering is off or the tier cannot take the pages (checked *before*
+        any state is touched), ``KeyError`` for an unknown sequence.
+        """
+        if self.tiering is None or self._cold is None:
+            raise ColdTierError("KV tiering is not enabled on this backend")
+        self.engine.context_length(seq_id)  # KeyError when unknown
+        dense = self.engine.cache.dense_cache
+        expected_pages = len(dense.sequence_pages(seq_id)) if dense is not None else 0
+        if not self._cold.can_accept(expected_pages):
+            raise ColdTierError(
+                f"cold tier full: cannot accept {expected_pages} pages for {seq_id!r}"
+            )
+        selector_state = self.engine.selector.export_sequence(seq_id)
+        handoff = self.handoff_out(seq_id)
+        export = handoff.payload
+        if self.tiering.mode == "quantized" and export.dense is not None:
+            bits = self.tiering.cold_kv_bits
+            export.dense.k_pages = compress_page_images(export.dense.k_pages, bits)
+            export.dense.v_pages = compress_page_images(export.dense.v_pages, bits)
+        self._cold.put(
+            seq_id,
+            (handoff, selector_state),
+            n_pages=handoff.n_pages,
+            n_tokens=handoff.n_tokens,
+        )
+        return handoff.n_pages
+
+    def restore(self, seq_id: object) -> StepResult:
+        """Re-attach a demoted sequence's pages, billing the restore transfer.
+
+        Atomic: if the pool cannot hold the pages
+        (:class:`~repro.kvcache.allocator.OutOfPagesError`), the snapshot is
+        reinstalled in the cold tier and the error propagates — the request
+        simply stays demoted.  Raises ``KeyError`` when no cold entry exists.
+        """
+        if self.tiering is None or self._cold is None:
+            raise ColdTierError("KV tiering is not enabled on this backend")
+        entry = self._cold.pop(seq_id)
+        handoff, selector_state = entry.payload
+        try:
+            self.handoff_in(seq_id, handoff)
+        except Exception:
+            self._cold.unpop(seq_id, entry)
+            raise
+        self.engine.selector.import_sequence(selector_state)
+        elapsed = self.tiering.restore_cost.transfer_latency_s(
+            handoff.n_pages, *self._page_geometry(),
+        )
+        return StepResult(
+            logits=None,
+            elapsed_s=elapsed,
+            restored_pages=handoff.n_pages,
+            restore_s=elapsed,
+        )
+
+    def cold_pages(self) -> int:
+        """Pages currently parked in the cold tier (live-gauge support)."""
+        return self._cold.num_pages if self._cold is not None else 0
+
+    def cold_kv_tokens(self) -> int:
+        """KV tokens currently parked in the cold tier (live-gauge support)."""
+        return self._cold.num_tokens if self._cold is not None else 0
+
+    @property
+    def cold_store(self) -> ColdTierStore | None:
+        """The cold tier itself (``None`` when tiering is off)."""
+        return self._cold
+
     def release(self, seq_id: object) -> None:
-        """Free the engine's KV pages and cached page selections for ``seq_id``."""
-        self._live_seq_ids.discard(seq_id)
-        self.engine.release(seq_id)
+        """Free the engine's KV pages and cached page selections for ``seq_id``.
+
+        A demoted sequence's cold snapshot is dropped too (abort path); a
+        sequence that only has a cold entry holds no engine state, so the
+        engine release is skipped for it.
+        """
+        had_cold = self._cold is not None and self._cold.discard(seq_id)
+        if seq_id in self._live_seq_ids:
+            self._live_seq_ids.discard(seq_id)
+            self.engine.release(seq_id)
+        elif not had_cold:
+            self.engine.release(seq_id)

@@ -195,6 +195,10 @@ def merge_live_gauges(gauges: list[LiveGauges]) -> LiveGauges:
         aborted=sum(g.aborted for g in gauges),
         preemptions=sum(g.preemptions for g in gauges),
         kv_tokens_demand=sum(g.kv_tokens_demand for g in gauges),
+        kv_tokens_cold=sum(g.kv_tokens_cold for g in gauges),
+        cold_pages=sum(g.cold_pages for g in gauges),
+        demotions=sum(g.demotions for g in gauges),
+        restores=sum(g.restores for g in gauges),
     )
 
 

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.engine import DecodeOutOfPagesError
+from repro.kvcache.allocator import OutOfPagesError
+from repro.kvcache.tiering import ColdTierError
 from repro.serving.backend import InferenceBackend
 from repro.serving.metrics import LiveGauges, RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
@@ -52,7 +54,9 @@ class RequestHandle:
     :meth:`ServingEngine.adopt`); both are zero for ordinary submissions.
     ``retain_kv`` marks a request whose backend KV must survive retirement
     because a disaggregated cluster will hand it off to a decode tier
-    (:meth:`ServingEngine.retain_kv_on_finish`).
+    (:meth:`ServingEngine.retain_kv_on_finish`).  ``restored_pages`` /
+    ``restore_ms`` accumulate the request's cold-KV-tier restore traffic
+    (sequence restores plus cold prefix pages re-attached at prefill).
     """
 
     request: Request
@@ -62,6 +66,8 @@ class RequestHandle:
     transfer_ms: float = 0.0
     migrated_pages: int = 0
     retain_kv: bool = False
+    restored_pages: int = 0
+    restore_ms: float = 0.0
     _rng: np.random.Generator | None = None
 
     @property
@@ -91,11 +97,14 @@ class StepOutcome:
 
     ``kind`` is ``"prefill"`` (a fresh request was admitted and prefilled),
     ``"resume"`` (a preempted request was re-admitted and its KV recomputed),
-    ``"decode"`` (one decode iteration over the running batch), ``"attach"``
-    (an adopted request's migrated KV joined the decode batch, see
-    :meth:`ServingEngine.adopt`), or ``"idle"`` (the clock jumped to the next
-    arrival).  ``preempted_ids`` lists requests evicted under KV pressure
-    immediately before a decode iteration.
+    ``"restore"`` (a demoted request's KV was transferred back from the cold
+    tier), ``"decode"`` (one decode iteration over the running batch),
+    ``"attach"`` (an adopted request's migrated KV joined the decode batch,
+    see :meth:`ServingEngine.adopt`), or ``"idle"`` (the clock jumped to the
+    next arrival).  ``preempted_ids`` lists requests evicted under KV
+    pressure immediately before a decode iteration (KV released, recompute on
+    re-admission); ``demoted_ids`` lists requests whose KV was instead parked
+    in the cold tier (transfer-restore on re-admission).
 
     ``emitted_tokens`` reports every token the step produced, in order, as
     ``(request_id, token_id)`` pairs — one pair for a prefill (the first
@@ -105,12 +114,13 @@ class StepOutcome:
     delivered to per-request streams the moment the step returns.
     """
 
-    kind: str  # "prefill" | "resume" | "decode" | "attach" | "idle"
+    kind: str  # "prefill" | "resume" | "restore" | "decode" | "attach" | "idle"
     clock_s: float
     elapsed_s: float
     request_ids: tuple[str, ...] = ()
     finished_ids: tuple[str, ...] = ()
     preempted_ids: tuple[str, ...] = ()
+    demoted_ids: tuple[str, ...] = ()
     emitted_tokens: tuple[tuple[str, int], ...] = ()
 
 
@@ -282,6 +292,10 @@ class ServingEngine:
             was_running = self.scheduler.remove(state)
             if was_running and state.status is RequestStatus.DECODING:
                 self.backend.release(handle.seq_id)
+            elif state.status is RequestStatus.DEMOTED:
+                # The KV lives in the backend's cold tier, not the hot pool;
+                # release drops the cold snapshot.
+                self.backend.release(handle.seq_id)
         if request_id in self._adopted_ready:
             # Adopted-but-unattached: the migrated KV is already materialised
             # on the backend even though the state never left WAITING.
@@ -295,6 +309,9 @@ class ServingEngine:
     def live_gauges(self) -> LiveGauges:
         """Snapshot the engine's instantaneous state (queue/batch/KV gauges)."""
         backend_kv = getattr(self.backend, "kv_tokens_in_use", None)
+        cold_tokens = getattr(self.backend, "cold_kv_tokens", None)
+        cold_pages = getattr(self.backend, "cold_pages", None)
+        cold_store = getattr(self.backend, "cold_store", None)
         kv_in_use = self.scheduler.kv_tokens_in_use()
         return LiveGauges(
             clock_s=self.clock_s,
@@ -310,6 +327,10 @@ class ServingEngine:
             kv_tokens_demand=kv_in_use
             + self.scheduler.kv_tokens_waiting()
             + sum(r.prompt_tokens for r in self._arrivals),
+            kv_tokens_cold=cold_tokens() if cold_tokens is not None else 0,
+            cold_pages=cold_pages() if cold_pages is not None else 0,
+            demotions=self.scheduler.total_demotions,
+            restores=cold_store.total_restores if cold_store is not None else 0,
         )
 
     # -- the serving loop ---------------------------------------------------------
@@ -329,14 +350,16 @@ class ServingEngine:
         if state is not None:
             if state.request.request_id in self._adopted_ready:
                 return self._step_attach(state)
+            if state.status is RequestStatus.DEMOTED:
+                return self._step_restore(state)
             if state.status is RequestStatus.PREEMPTED:
                 return self._step_resume(state)
             return self._step_prefill(state)
 
-        preempted = self._preempt_for_pressure()
+        preempted, demoted = self._preempt_for_pressure()
         batch = self.scheduler.decode_batch()
         if batch:
-            return self._step_decode(batch, preempted)
+            return self._step_decode(batch, preempted, demoted)
 
         if self._arrivals:
             next_arrival = self._arrivals[0].arrival_time_s
@@ -425,6 +448,8 @@ class ServingEngine:
         self.clock_s += result.elapsed_s
         self.decision_log.append(f"prefill:{handle.request_id}")
         state.shared_prefix_tokens = result.prefix_hit_tokens
+        handle.restored_pages += result.restored_pages
+        handle.restore_ms += result.restore_s * 1e3
         state.record_prefill(self.clock_s)
         # Prefill yields the first generated token.
         self._record_token(handle, result.logits)
@@ -475,6 +500,8 @@ class ServingEngine:
         result = self.backend.prefill(handle.seq_id, self._prompt_ids(handle.request))
         elapsed = result.elapsed_s
         state.shared_prefix_tokens = result.prefix_hit_tokens
+        handle.restored_pages += result.restored_pages
+        handle.restore_ms += result.restore_s * 1e3
         self.recompute_prefill_tokens += handle.request.prompt_tokens - result.prefix_hit_tokens
         for token in handle.output_tokens[:-1]:
             replay = self.backend.decode_batch([handle.seq_id], [token])
@@ -490,18 +517,121 @@ class ServingEngine:
             request_ids=(handle.request_id,),
         )
 
-    def _preempt_for_pressure(self) -> tuple[str, ...]:
-        """Evict running requests under KV pressure; returns the evicted ids."""
-        victims = self.scheduler.preempt_for_pressure()
+    def _step_restore(self, state: RequestState) -> StepOutcome:
+        """Transfer a demoted request's KV back from the cold tier.
+
+        The snapshot is re-attached bit-exactly (modeled context for the
+        simulated backend) and the modeled restore transfer is billed on the
+        serving clock — no recompute runs and no token is emitted.  When the
+        hot pool cannot actually hold the pages
+        (:class:`~repro.kvcache.allocator.OutOfPagesError` — the watermark
+        admitted on token estimates, the allocator is ground truth), the
+        snapshot is dropped and the request falls back to recompute-resume,
+        recounted as a preemption.
+        """
+        handle = self._handles[state.request.request_id]
+        try:
+            result = self.backend.restore(handle.seq_id)
+        except OutOfPagesError:
+            # The atomic restore reinstalled the snapshot; drop it and rebuild
+            # by recompute instead (the prefill path can evict prefix pages).
+            cold = getattr(self.backend, "cold_store", None)
+            if cold is not None:
+                cold.discard(handle.seq_id)
+            self.scheduler.reclassify_demotion_as_preemption()
+            state.demote_to_preempt()
+            return self._step_resume(state)
+        self.clock_s += result.elapsed_s
+        self.decision_log.append(f"restore:{handle.request_id}")
+        handle.restored_pages += result.restored_pages
+        handle.restore_ms += result.restore_s * 1e3
+        state.record_restore(self.clock_s)
+        return StepOutcome(
+            kind="restore",
+            clock_s=self.clock_s,
+            elapsed_s=result.elapsed_s,
+            request_ids=(handle.request_id,),
+        )
+
+    @property
+    def _tiering_active(self) -> bool:
+        """Whether the backend carries a cold KV tier to demote into."""
+        return getattr(self.backend, "tiering", None) is not None and hasattr(
+            self.backend, "demote"
+        )
+
+    def _demotion_victim_order(self):
+        """LRU victim ranking for demotion, or ``None`` for the policy default.
+
+        Asks the backend to rank the decoding batch least-recently-attended
+        first (via its eviction policy / attend stamps); sequences the policy
+        filters out (e.g. holders of pinned prefix pages) are appended in the
+        scheduler policy's own victim order, so they remain preemptable.
+        """
+        order_fn = getattr(self.backend, "demotion_order", None)
+        if order_fn is None:
+            return None
+
+        def victim_order(decoding: list[RequestState]) -> list[RequestState]:
+            by_seq = {
+                self._handles[s.request.request_id].seq_id: s for s in decoding
+            }
+            ranked = [by_seq[sid] for sid in order_fn(list(by_seq)) if sid in by_seq]
+            seen = set(id(s) for s in ranked)
+            rest = [
+                s
+                for s in self.scheduler.policy.victim_order(decoding)
+                if id(s) not in seen
+            ]
+            return ranked + rest
+
+        return victim_order
+
+    def _evict_states(
+        self, victims: list[RequestState]
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Demote-or-preempt each victim the scheduler evicted.
+
+        With tiering active each victim's KV is parked in the cold tier; when
+        the tier refuses (full, or the sequence is not demotable) that victim
+        falls back to the classic release-and-recompute preemption and the
+        scheduler's wholesale demotion count is corrected.
+        """
+        demote_active = self._tiering_active
+        preempted: list[str] = []
+        demoted: list[str] = []
         for state in victims:
             handle = self._handles[state.request.request_id]
+            if demote_active:
+                try:
+                    self.backend.demote(handle.seq_id)
+                except ColdTierError:
+                    self.scheduler.reclassify_demotion_as_preemption()
+                else:
+                    state.record_demote(self.clock_s)
+                    self.decision_log.append(f"demote:{handle.request_id}")
+                    demoted.append(handle.request_id)
+                    continue
             state.record_preempt(self.clock_s)
             self.backend.release(handle.seq_id)
             self.decision_log.append(f"preempt:{handle.request_id}")
-        return tuple(s.request.request_id for s in victims)
+            preempted.append(handle.request_id)
+        return tuple(preempted), tuple(demoted)
+
+    def _preempt_for_pressure(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Evict running requests under KV pressure; returns (preempted, demoted) ids."""
+        demote = self._tiering_active
+        victims = self.scheduler.preempt_for_pressure(
+            victim_order=self._demotion_victim_order() if demote else None,
+            demote=demote,
+        )
+        return self._evict_states(victims)
 
     def _step_decode(
-        self, batch: list[RequestState], preempted: tuple[str, ...] = ()
+        self,
+        batch: list[RequestState],
+        preempted: tuple[str, ...] = (),
+        demoted: tuple[str, ...] = (),
     ) -> StepOutcome:
         handles = [self._handles[s.request.request_id] for s in batch]
         tokens = [
@@ -510,7 +640,7 @@ class ServingEngine:
         try:
             result = self.backend.decode_batch([h.seq_id for h in handles], tokens)
         except DecodeOutOfPagesError as exc:
-            return self._step_decode_oom(batch, preempted, exc)
+            return self._step_decode_oom(batch, preempted, demoted, exc)
         self.clock_s += result.elapsed_s
         self.decision_log.append("decode:" + ",".join(h.request_id for h in handles))
         for i, handle in enumerate(handles):
@@ -524,6 +654,7 @@ class ServingEngine:
             request_ids=tuple(h.request_id for h in handles),
             finished_ids=finished,
             preempted_ids=preempted,
+            demoted_ids=demoted,
             emitted_tokens=tuple(
                 (h.request_id, h.output_tokens[-1]) for h in handles
             ),
@@ -533,29 +664,28 @@ class ServingEngine:
         self,
         batch: list[RequestState],
         preempted: tuple[str, ...],
+        demoted: tuple[str, ...],
         exc: DecodeOutOfPagesError,
     ) -> StepOutcome:
         """Evict exactly the sequences the backend could not reserve pages for.
 
         The backend raised *before* mutating any KV state, so the failed
-        sequences can be preempted (recompute-style, like watermark victims)
-        and the surviving batch retried within the same step.  If every
-        sequence failed, nothing can make progress — the pool is genuinely
-        too small for one request — and the error propagates.
+        sequences can be evicted (demoted to the cold tier when tiering is
+        active, recompute-preempted otherwise — like watermark victims) and
+        the surviving batch retried within the same step.  If every sequence
+        failed, nothing can make progress — the pool is genuinely too small
+        for one request — and the error propagates.
         """
         failed_ids = {str(s) for s in exc.failed_seq_ids}
         victims = [s for s in batch if s.request.request_id in failed_ids]
         survivors = [s for s in batch if s.request.request_id not in failed_ids]
         if not victims or not survivors:
             raise exc
-        self.scheduler.force_preempt(victims)
-        for state in victims:
-            handle = self._handles[state.request.request_id]
-            state.record_preempt(self.clock_s)
-            self.backend.release(handle.seq_id)
-            self.decision_log.append(f"preempt:{handle.request_id}")
-        preempted = preempted + tuple(s.request.request_id for s in victims)
-        return self._step_decode(survivors, preempted)
+        self.scheduler.force_preempt(victims, demote=self._tiering_active)
+        newly_preempted, newly_demoted = self._evict_states(victims)
+        return self._step_decode(
+            survivors, preempted + newly_preempted, demoted + newly_demoted
+        )
 
     def _prompt_ids(self, request: Request) -> np.ndarray:
         if request.prompt_token_ids is not None:
@@ -594,6 +724,10 @@ class ServingEngine:
                 preempted_stall_s=state.preempted_stall_s,
                 transfer_ms=handle.transfer_ms,
                 migrated_pages=handle.migrated_pages,
+                demotions=state.demotions,
+                demoted_stall_s=state.demoted_stall_s,
+                restored_pages=handle.restored_pages,
+                restore_ms=handle.restore_ms,
             )
             self.metrics.add(handle.record)
             finished_ids.append(handle.request_id)

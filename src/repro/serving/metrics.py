@@ -55,6 +55,10 @@ class LiveGauges:
     * ``backend_kv_tokens`` — the backend's own count of materialised KV
       tokens (ground truth; ``-1`` when the backend does not report one).
     * ``completed`` / ``aborted`` / ``preemptions`` — lifetime counters.
+    * ``kv_tokens_cold`` / ``cold_pages`` — KV currently parked in the cold
+      tier (0 when tiering is off; the hot-tier occupancy is
+      ``kv_tokens_in_use`` — the watermarks never count cold KV).
+    * ``demotions`` / ``restores`` — lifetime cold-tier traffic counters.
     """
 
     clock_s: float
@@ -68,6 +72,10 @@ class LiveGauges:
     aborted: int
     preemptions: int
     kv_tokens_demand: int = 0
+    kv_tokens_cold: int = 0
+    cold_pages: int = 0
+    demotions: int = 0
+    restores: int = 0
 
     @property
     def kv_occupancy(self) -> float:
@@ -104,6 +112,15 @@ class LiveGauges:
             metric = f"{prefix}_{name}"
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {render_gauge_value(value)}")
+        # Tier-labelled occupancy series: one metric, hot/cold samples.
+        tier_metric = f"{prefix}_kv_tier_tokens"
+        lines.append(f"# TYPE {tier_metric} gauge")
+        lines.append(
+            f'{tier_metric}{{tier="hot"}} {render_gauge_value(self.kv_tokens_in_use)}'
+        )
+        lines.append(
+            f'{tier_metric}{{tier="cold"}} {render_gauge_value(self.kv_tokens_cold)}'
+        )
         return "\n".join(lines) + "\n"
 
 
@@ -127,6 +144,14 @@ class RequestRecord:
       when the request was handed off between serving tiers (0.0 when it was
       served by one replica end to end).
     * ``migrated_pages`` — physical KV pages migrated in that hand-off.
+    * ``demotions`` — times the request's KV was parked in the cold tier
+      instead of being released for recompute.
+    * ``demoted_stall_s`` — total seconds spent demoted (demote to restore).
+    * ``restored_pages`` — KV pages brought back from the cold tier for this
+      request (sequence restores plus cold prefix pages re-attached at
+      prefill).
+    * ``restore_ms`` — total modeled cold-tier restore latency (milliseconds)
+      charged to this request.
     """
 
     request_id: str
@@ -141,6 +166,10 @@ class RequestRecord:
     preempted_stall_s: float = 0.0
     transfer_ms: float = 0.0
     migrated_pages: int = 0
+    demotions: int = 0
+    demoted_stall_s: float = 0.0
+    restored_pages: int = 0
+    restore_ms: float = 0.0
 
     @property
     def ttft_s(self) -> float:
@@ -296,6 +325,33 @@ class ServingMetrics:
                 continue
             ok += 1
         return ok / len(records)
+
+    def total_demotions(self, priority: int | None = None) -> int:
+        """Total cold-tier demotion events across the recorded requests.
+
+        The cheap counterpart of :meth:`total_preemptions` — the two together
+        are every KV-pressure eviction the recorded requests suffered.
+        """
+        return int(sum(r.demotions for r in self._select(priority)))
+
+    def total_restored_pages(self, priority: int | None = None) -> int:
+        """Total KV pages restored from the cold tier, over the records."""
+        return int(sum(r.restored_pages for r in self._select(priority)))
+
+    def mean_restore_ms(self, priority: int | None = None) -> float:
+        """Mean modeled restore latency over requests that restored pages, in ms.
+
+        Requests that never touched the cold tier are excluded rather than
+        averaged in as zero; 0.0 when nothing was restored.
+        """
+        samples = [
+            r.restore_ms
+            for r in self._select(priority)
+            if r.restored_pages > 0 or r.restore_ms > 0
+        ]
+        if not samples:
+            return 0.0
+        return float(np.mean(samples))
 
     def total_generated_tokens(self) -> int:
         """Sum of generated tokens across all recorded requests."""

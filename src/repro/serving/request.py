@@ -9,7 +9,10 @@ its mutable serving-side lifecycle, which the scheduler moves through
 ``DECODING -> PREEMPTED -> DECODING`` detour every time the scheduler evicts
 the request under KV pressure (recompute-style preemption: the KV cache is
 released and rebuilt on re-admission, see
-:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`).  Any
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`).  With a cold
+KV tier enabled the cheaper ``DECODING -> DEMOTED -> DECODING`` detour is
+taken instead: the KV pages move to the host tier and are *restored* (a
+modeled transfer, not a recompute) on re-admission.  Any
 non-terminal state can transition to ``CANCELLED`` when the caller aborts the
 request (:meth:`~repro.serving.engine.ServingEngine.abort`); cancelled
 requests keep whatever tokens they had already generated.
@@ -31,6 +34,7 @@ class RequestStatus(enum.Enum):
     WAITING = "waiting"
     DECODING = "decoding"
     PREEMPTED = "preempted"
+    DEMOTED = "demoted"
     FINISHED = "finished"
     CANCELLED = "cancelled"
 
@@ -122,6 +126,12 @@ class RequestState:
     preemptions: int = 0
     preempted_stall_s: float = 0.0
     last_preempt_time_s: float | None = None
+    #: Cold-tier evictions: times this request's KV was demoted to the host
+    #: tier (cheaper than a preemption — restore is a transfer, not a
+    #: recompute) and the total virtual seconds spent demoted.
+    demotions: int = 0
+    demoted_stall_s: float = 0.0
+    last_demote_time_s: float | None = None
     #: Prompt tokens whose KV is shared with a cached prefix (set after each
     #: prefill/resume from the backend's ``StepResult.prefix_hit_tokens``).
     #: Shared pages are physical storage once, so they are excluded from this
@@ -133,11 +143,16 @@ class RequestState:
     def context_length(self) -> int:
         """Unique KV tokens currently materialised for this request.
 
-        ``0`` while the request is waiting or preempted (a preempted request's
-        KV pages were released; they are rebuilt on re-admission).  Tokens
-        attached from a shared prefix are not charged to this request.
+        ``0`` while the request is waiting, preempted, or demoted (preempted
+        KV pages were released; demoted pages live in the cold tier, and the
+        watermarks count only the hot tier).  Tokens attached from a shared
+        prefix are not charged to this request.
         """
-        if self.status in (RequestStatus.WAITING, RequestStatus.PREEMPTED):
+        if self.status in (
+            RequestStatus.WAITING,
+            RequestStatus.PREEMPTED,
+            RequestStatus.DEMOTED,
+        ):
             return 0
         return max(
             0,
@@ -214,6 +229,47 @@ class RequestState:
         if self.last_preempt_time_s is not None:
             self.preempted_stall_s += now_s - self.last_preempt_time_s
             self.last_preempt_time_s = None
+
+    def record_demote(self, now_s: float) -> None:
+        """Transition ``DECODING -> DEMOTED`` (KV parked in the cold tier).
+
+        Unlike :meth:`record_preempt`, nothing is recomputed later: the
+        backend keeps a restorable snapshot, so re-admission pays only a
+        modeled transfer (:meth:`record_restore`).
+        """
+        if self.status is not RequestStatus.DECODING:
+            raise ValueError(f"cannot demote request in status {self.status}")
+        self.status = RequestStatus.DEMOTED
+        self.demotions += 1
+        self.last_demote_time_s = now_s
+
+    def demote_to_preempt(self) -> None:
+        """Reclassify an in-flight demotion as a preemption (restore fell through).
+
+        Taken when a demoted request's cold snapshot cannot be re-attached
+        (e.g. the page pool cannot hold it) and the engine falls back to
+        recompute: the request's history must then read as one preemption,
+        not a demotion, and the pending stall interval carries over.
+        """
+        if self.status is not RequestStatus.DEMOTED:
+            raise ValueError(f"cannot reclassify request in status {self.status}")
+        self.status = RequestStatus.PREEMPTED
+        self.demotions -= 1
+        self.preemptions += 1
+        self.last_preempt_time_s = self.last_demote_time_s
+        self.last_demote_time_s = None
+
+    def record_restore(self, now_s: float) -> None:
+        """Transition ``DEMOTED -> DECODING`` after the cold-tier restore.
+
+        Accumulates the demoted interval into ``demoted_stall_s``.
+        """
+        if self.status is not RequestStatus.DEMOTED:
+            raise ValueError(f"cannot restore request in status {self.status}")
+        self.status = RequestStatus.DECODING
+        if self.last_demote_time_s is not None:
+            self.demoted_stall_s += now_s - self.last_demote_time_s
+            self.last_demote_time_s = None
 
     def mark_finished(self, now_s: float) -> None:
         """Terminate generation early (EOS / stop token) before the budget."""

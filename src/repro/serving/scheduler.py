@@ -248,6 +248,7 @@ class ContinuousBatchingScheduler:
         self._finished: list[RequestState] = []
         self._submit_counter = 0
         self._total_preemptions = 0
+        self._total_demotions = 0
 
     # -- queue management -------------------------------------------------------
     def submit(self, request: Request) -> RequestState:
@@ -306,6 +307,29 @@ class ContinuousBatchingScheduler:
         """Preemption events since this scheduler was created."""
         return self._total_preemptions
 
+    @property
+    def total_demotions(self) -> int:
+        """Cold-tier demotion events since this scheduler was created.
+
+        Demotions are evictions whose KV moved to the cold tier instead of
+        being released for recompute; they are counted separately from
+        :attr:`total_preemptions` because their cost on re-admission is a
+        transfer, not a recompute.
+        """
+        return self._total_demotions
+
+    def reclassify_demotion_as_preemption(self, n: int = 1) -> None:
+        """Recount ``n`` demotions as preemptions.
+
+        The engine calls this when a victim taken with ``demote=True`` could
+        not actually be demoted (cold tier full) and fell back to the classic
+        release-and-recompute eviction.
+        """
+        if n < 0 or n > self._total_demotions:
+            raise ValueError(f"cannot reclassify {n} of {self._total_demotions} demotions")
+        self._total_demotions -= n
+        self._total_preemptions += n
+
     def kv_tokens_in_use(self) -> int:
         """KV tokens currently materialised by running requests."""
         return sum(s.context_length for s in self._running)
@@ -349,7 +373,9 @@ class ContinuousBatchingScheduler:
         """The requests that take part in the next decode iteration."""
         return [s for s in self._running if s.status is RequestStatus.DECODING]
 
-    def preempt_for_pressure(self) -> list[RequestState]:
+    def preempt_for_pressure(
+        self, victim_order=None, demote: bool = False
+    ) -> list[RequestState]:
         """Evict running requests so the next decode iteration fits; may be empty.
 
         A decode iteration appends one KV token per decoding request.  If
@@ -361,14 +387,25 @@ class ContinuousBatchingScheduler:
         progress.  Victims are moved back to the waiting queue; the caller
         (the serving engine) must release their backend KV and mark the
         states preempted.
+
+        ``victim_order`` overrides the policy's ranking (a callable from a
+        list of decoding states to the same states most-evictable first) —
+        the tiering-enabled engine passes the backend's LRU-by-last-attended
+        order.  With ``demote=True`` the evictions count as demotions rather
+        than preemptions (the caller parks the KV in the cold tier instead of
+        releasing it).
         """
         decoding = self.decode_batch()
         in_use = self.kv_tokens_in_use()
         incoming = len(decoding)
         if in_use + incoming <= self.config.kv_token_capacity:
             return []
+        ordered = (
+            victim_order(decoding) if victim_order is not None
+            else self.policy.victim_order(decoding)
+        )
         victims: list[RequestState] = []
-        for victim in self.policy.victim_order(decoding):
+        for victim in ordered:
             if len(decoding) - len(victims) <= 1:
                 break
             victims.append(victim)
@@ -382,10 +419,13 @@ class ContinuousBatchingScheduler:
         for victim in victims:
             self._running.remove(victim)
             self._waiting.append(victim)
-        self._total_preemptions += len(victims)
+        if demote:
+            self._total_demotions += len(victims)
+        else:
+            self._total_preemptions += len(victims)
         return victims
 
-    def force_preempt(self, states: list[RequestState]) -> None:
+    def force_preempt(self, states: list[RequestState], demote: bool = False) -> None:
         """Evict specific running requests (backend-reported KV exhaustion).
 
         Token-level watermarks are an *estimate* of page-pool pressure; the
@@ -393,12 +433,16 @@ class ContinuousBatchingScheduler:
         iteration reports that specific sequences could not reserve their
         pages, the serving engine evicts exactly those — the caller releases
         their backend KV and marks the states preempted, as with
-        :meth:`preempt_for_pressure` victims.
+        :meth:`preempt_for_pressure` victims.  ``demote=True`` counts the
+        evictions as cold-tier demotions instead of preemptions.
         """
         for state in states:
             self._running.remove(state)
             self._waiting.append(state)
-        self._total_preemptions += len(states)
+        if demote:
+            self._total_demotions += len(states)
+        else:
+            self._total_preemptions += len(states)
 
     def remove(self, state: RequestState) -> bool:
         """Withdraw a request from the scheduler entirely (caller abort).

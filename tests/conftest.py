@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and audit helpers for the test suite."""
 
 from __future__ import annotations
 
@@ -7,6 +7,40 @@ import pytest
 
 from repro.model.configs import tiny_model_config
 from repro.model.transformer import TinyTransformer
+
+
+def pytest_configure(config):
+    """Register the ``slow`` marker (long end-to-end runs, split out in CI)."""
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running end-to-end test; excluded from the fast CI lane "
+        '(run with `-m slow`, skipped by `-m "not slow"`)',
+    )
+
+
+def assert_no_leaked_pages(allocator, backend=None, cold_store=None) -> None:
+    """Assert every KV page went back to the pool (and every tier drained).
+
+    The shared zero-leak audit used at the end of serving/cluster/tiering
+    tests: the page allocator must report nothing allocated, the backend (when
+    given) must hold no live KV tokens, and the cold tier (when given) must be
+    empty — demoted snapshots count as leaks too.
+    """
+    assert allocator.num_allocated == 0, (
+        f"leaked {allocator.num_allocated} hot-tier pages "
+        f"(free={allocator.num_free}, capacity={allocator.capacity})"
+    )
+    if backend is not None:
+        in_use = backend.kv_tokens_in_use()
+        assert in_use == 0, f"backend still holds {in_use} KV tokens"
+        store = getattr(backend, "cold_store", None)
+        if cold_store is None and store is not None:
+            cold_store = store
+    if cold_store is not None:
+        assert cold_store.num_pages == 0, (
+            f"leaked {cold_store.num_pages} cold-tier pages "
+            f"({cold_store.num_entries} entries)"
+        )
 
 
 @pytest.fixture()

@@ -41,6 +41,7 @@ EXPECT_SNIPPETS = {
     "api.md",
     "cluster.md",
     "disaggregation.md",
+    "kv_tiering.md",
 }
 
 _FENCE = re.compile(

@@ -1,0 +1,340 @@
+"""Seeded invariant fuzzing of the paged KV cache, prefix index, and cold tier.
+
+Each seed drives a few hundred random operations — sequence creation,
+appends, copy-on-write forks, removals, export/import migrations, cold-tier
+demote/restore round trips, prefix registration/attachment, and prefix-index
+demotions and evictions — against one small page pool, and re-checks the
+global bookkeeping invariants after *every* operation:
+
+* page conservation: ``num_free + num_allocated == capacity``;
+* every allocated page has refcount >= 1, and the refcount equals exactly
+  the number of owners (sequence tables + prefix-index nodes) we can see;
+* pinned pages are precisely the prefix index's hot pages
+  (``allocator.num_pinned == index.held_pages``), and every one is allocated;
+* per-sequence consistency: all layers agree on the token count and the page
+  table covers it;
+* the cold tier's entries match the driver's view of what was demoted.
+
+At the end of each run everything is torn down and the shared zero-leak
+audit must pass — no page may survive in either tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvcache.allocator import OutOfPagesError
+from repro.kvcache.paged_cache import PagedCacheConfig, PagedKVCache
+from repro.kvcache.prefix_index import PrefixIndex
+from repro.kvcache.tiering import ColdTierStore
+from tests.conftest import assert_no_leaked_pages
+
+N_LAYERS = 2
+N_KV_HEADS = 2
+HEAD_DIM = 4
+PAGE_SIZE = 4
+NUM_PAGES = 32
+VOCAB = 6  # tiny vocabulary so random prompts collide and share prefixes
+
+N_SEEDS = 24
+N_OPS = 250
+
+
+def make_cache() -> PagedKVCache:
+    return PagedKVCache(
+        PagedCacheConfig(
+            n_layers=N_LAYERS,
+            n_kv_heads=N_KV_HEADS,
+            head_dim=HEAD_DIM,
+            page_size=PAGE_SIZE,
+            num_pages=NUM_PAGES,
+            kv_bits=16,
+        )
+    )
+
+
+class FuzzDriver:
+    """Random-op driver holding the ground-truth view the invariants check."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.cache = make_cache()
+        self.index = PrefixIndex(page_size=PAGE_SIZE, allocator=self.cache.allocator)
+        self.cold = ColdTierStore()
+        #: live sequence id -> token ids written so far (ground truth).
+        self.tokens: dict[str, list[int]] = {}
+        #: sequence ids currently parked in the cold tier.
+        self.demoted: list[str] = []
+        self._next_id = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def new_id(self) -> str:
+        self._next_id += 1
+        return f"seq{self._next_id}"
+
+    def pick_live(self) -> str | None:
+        if not self.tokens:
+            return None
+        return str(self.rng.choice(sorted(self.tokens)))
+
+    def random_tokens(self, n: int) -> list[int]:
+        return [int(t) for t in self.rng.integers(0, VOCAB, size=n)]
+
+    def append_tokens(self, seq_id: str, toks: list[int]) -> bool:
+        """Reserve + write ``toks`` into every layer; False when out of pages."""
+        n = len(toks)
+        try:
+            self.cache.prepare_append(seq_id, n)
+        except OutOfPagesError:
+            return False
+        for layer in range(N_LAYERS):
+            k = self.rng.normal(size=(n, N_KV_HEADS, HEAD_DIM))
+            v = self.rng.normal(size=(n, N_KV_HEADS, HEAD_DIM))
+            self.cache.append(seq_id, layer, k, v)
+        self.tokens[seq_id].extend(toks)
+        return True
+
+    # -- operations ------------------------------------------------------------
+    def op_add(self) -> None:
+        if len(self.tokens) >= 10:
+            return
+        seq_id = self.new_id()
+        self.cache.add_sequence(seq_id)
+        self.tokens[seq_id] = []
+        self.append_tokens(seq_id, self.random_tokens(int(self.rng.integers(1, 11))))
+
+    def op_append(self) -> None:
+        seq_id = self.pick_live()
+        if seq_id is not None:
+            self.append_tokens(seq_id, self.random_tokens(int(self.rng.integers(1, 7))))
+
+    def op_fork(self) -> None:
+        parent = self.pick_live()
+        if parent is None or len(self.tokens) >= 10:
+            return
+        child = self.new_id()
+        self.cache.fork_sequence(parent, child)
+        self.tokens[child] = list(self.tokens[parent])
+
+    def op_remove(self) -> None:
+        seq_id = self.pick_live()
+        if seq_id is not None:
+            self.cache.remove_sequence(seq_id)
+            del self.tokens[seq_id]
+
+    def op_read(self) -> None:
+        """Touch a sequence's pages through the access clock the LRU policy uses."""
+        seq_id = self.pick_live()
+        if seq_id is not None:
+            layer = int(self.rng.integers(0, N_LAYERS))
+            self.cache.get(seq_id, layer)
+
+    def op_migrate(self) -> None:
+        """Export -> remove -> re-import (the disaggregation hand-off shape)."""
+        seq_id = self.pick_live()
+        if seq_id is None:
+            return
+        export = self.cache.export_sequence(seq_id)
+        self.cache.remove_sequence(seq_id)
+        if self.cache.allocator.can_allocate(export.n_pages):
+            self.cache.import_sequence(seq_id, export)
+        else:
+            del self.tokens[seq_id]  # pool too full to take it back: drop it
+
+    def op_demote(self) -> None:
+        """Park a sequence's KV snapshot in the cold tier (serving demotion)."""
+        seq_id = self.pick_live()
+        if seq_id is None:
+            return
+        export = self.cache.export_sequence(seq_id)
+        if seq_id in self.cold or not self.cold.can_accept(export.n_pages):
+            return
+        self.cache.remove_sequence(seq_id)
+        toks = self.tokens.pop(seq_id)
+        self.cold.put(seq_id, (export, toks), export.n_pages, export.num_tokens)
+        self.demoted.append(seq_id)
+
+    def op_restore(self) -> None:
+        """Re-admit a demoted sequence; roll back via ``unpop`` when full."""
+        if not self.demoted:
+            return
+        seq_id = str(self.rng.choice(sorted(self.demoted)))
+        entry = self.cold.pop(seq_id)
+        export, toks = entry.payload
+        if self.cache.allocator.can_allocate(export.n_pages):
+            self.cache.import_sequence(seq_id, export)
+            self.tokens[seq_id] = toks
+            self.demoted.remove(seq_id)
+        else:
+            self.cold.unpop(seq_id, entry)
+
+    def op_register_prefix(self) -> None:
+        """Register a live sequence's full pages in the prefix index (pins them)."""
+        seq_id = self.pick_live()
+        if seq_id is None:
+            return
+        n_full = self.cache.seq_len(seq_id) // PAGE_SIZE
+        if n_full == 0:
+            return
+        pages = self.cache.sequence_pages(seq_id)[:n_full]
+        stats = [self.cache.key_stats_objects(seq_id, layer) for layer in range(N_LAYERS)]
+        self.index.register(
+            np.asarray(self.tokens[seq_id][: n_full * PAGE_SIZE]),
+            pages,
+            stats_for_page=lambda i: [[stats[layer][i]] for layer in range(N_LAYERS)],
+            streaming_for_page=lambda i: (None, None),
+        )
+
+    def op_attach_prefix(self) -> None:
+        """Attach the longest hot registered prefix of a live prompt as a new sequence."""
+        probe = self.pick_live()
+        if probe is None or len(self.tokens) >= 10:
+            return
+        toks = self.tokens[probe]
+        chain = self.index.match(np.asarray(toks))
+        hot = []
+        for node in chain:
+            if node.page is None:
+                break  # a cold node interrupts the attachable page chain
+            hot.append(node)
+        if not hot:
+            return
+        pages = [node.page for node in hot]
+        stats_per_layer = [
+            [node.stats_per_layer[layer][0] for node in hot] for layer in range(N_LAYERS)
+        ]
+        seq_id = self.new_id()
+        self.cache.attach_prefix(seq_id, pages, len(hot) * PAGE_SIZE, stats_per_layer)
+        self.tokens[seq_id] = list(toks[: len(hot) * PAGE_SIZE])
+
+    def op_prefix_demote(self) -> None:
+        """Demote LRU prefix nodes to the cold tier to free one more page."""
+        if self.index.held_pages:
+            self.index.evict_until(
+                self.cache.allocator.num_free + 1, page_image=self.cache.page_image
+            )
+
+    def op_prefix_restore(self) -> None:
+        """Bring one demoted prefix node back onto a fresh physical page."""
+        cold_nodes = [n for n in self.index._nodes() if n.is_cold]
+        if not cold_nodes or not self.cache.allocator.can_allocate(1):
+            return
+        node = cold_nodes[int(self.rng.integers(0, len(cold_nodes)))]
+        page = self.cache.install_page_image(node.cold_k, node.cold_v)
+        self.index.adopt_restored(node, page)
+
+    def op_prefix_evict(self) -> None:
+        """Hard-drop LRU prefix leaves (no cold tier) to free one more page."""
+        if self.index.num_nodes:
+            self.index.evict_until(self.cache.allocator.num_free + 1)
+
+    OPS = (
+        ("op_add", 4),
+        ("op_append", 5),
+        ("op_fork", 3),
+        ("op_remove", 2),
+        ("op_read", 3),
+        ("op_migrate", 2),
+        ("op_demote", 3),
+        ("op_restore", 3),
+        ("op_register_prefix", 3),
+        ("op_attach_prefix", 3),
+        ("op_prefix_demote", 2),
+        ("op_prefix_restore", 2),
+        ("op_prefix_evict", 1),
+    )
+
+    def step(self) -> str:
+        names = [name for name, _ in self.OPS]
+        weights = np.asarray([w for _, w in self.OPS], dtype=float)
+        name = str(self.rng.choice(names, p=weights / weights.sum()))
+        getattr(self, name)()
+        return name
+
+    # -- invariants ------------------------------------------------------------
+    def check_invariants(self) -> None:
+        cache, index, alloc = self.cache, self.index, self.cache.allocator
+
+        # Page conservation: every page is exactly free or allocated.
+        assert alloc.num_free + alloc.num_allocated == alloc.capacity
+
+        # Expected refcount per page = visible owners: one per sequence table
+        # containing it plus one per hot prefix node holding it.
+        expected: dict[int, int] = {}
+        for seq_id in cache.sequences():
+            for page in cache.sequence_pages(seq_id):
+                expected[page] = expected.get(page, 0) + 1
+        pinned: set[int] = set()
+        for node in index._nodes():
+            if node.page is not None:
+                expected[node.page] = expected.get(node.page, 0) + 1
+                pinned.add(node.page)
+            if node.is_cold:
+                assert node.cold_k is not None and node.cold_v is not None
+
+        assert alloc.num_allocated == len(expected), "allocated pages nobody owns"
+        assert alloc.total_refs == sum(expected.values())
+        for page, refs in expected.items():
+            assert refs >= 1
+            assert alloc.refcount(page) == refs, f"refcount mismatch on page {page}"
+
+        # Pins are exactly the index's hot pages.
+        assert index.held_pages == len(pinned)
+        assert alloc.num_pinned == len(pinned)
+        for page in pinned:
+            assert alloc.is_pinned(page)
+
+        # Per-sequence consistency: layers agree, the table covers the tokens,
+        # and the driver's ground-truth token count matches the cache's.
+        for seq_id in cache.sequences():
+            n_tokens = cache.seq_len(seq_id)
+            for layer in range(N_LAYERS):
+                assert cache.seq_len(seq_id, layer) == n_tokens
+            assert len(cache.sequence_pages(seq_id)) * PAGE_SIZE >= n_tokens
+            assert n_tokens == len(self.tokens[seq_id])
+
+        # Cold tier matches the driver's view of what was demoted.
+        assert self.cold.num_entries == len(self.demoted)
+        for seq_id in self.demoted:
+            assert seq_id in self.cold
+
+        # Live sequences and the driver's ground truth are the same set.
+        assert set(cache.sequences()) == set(self.tokens)
+
+    def teardown(self) -> None:
+        """Drain both tiers completely; nothing may survive."""
+        for seq_id in list(self.tokens):
+            self.cache.remove_sequence(seq_id)
+        self.tokens.clear()
+        self.index.clear()
+        for seq_id in list(self.demoted):
+            self.cold.discard(seq_id)
+        self.demoted.clear()
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_fuzz_invariants(seed):
+    driver = FuzzDriver(seed)
+    for step in range(N_OPS):
+        name = driver.step()
+        try:
+            driver.check_invariants()
+        except AssertionError as exc:  # pragma: no cover - failure path
+            raise AssertionError(
+                f"invariant violated after op {step} ({name}) with seed {seed}: {exc}"
+            ) from exc
+    driver.teardown()
+    assert_no_leaked_pages(driver.cache.allocator, cold_store=driver.cold)
+    assert driver.cache.allocator.num_pinned == 0
+
+
+def test_fuzz_exercises_every_op():
+    """Sanity: across a few seeds the driver actually hits every operation."""
+    hit: set[str] = set()
+    for seed in range(6):
+        driver = FuzzDriver(seed)
+        for _ in range(N_OPS):
+            hit.add(driver.step())
+        driver.teardown()
+    assert hit == {name for name, _ in FuzzDriver.OPS}

@@ -225,6 +225,7 @@ class TestClusterConstruction:
 
 
 class TestClusterServing:
+    @pytest.mark.slow
     def test_outputs_byte_identical_to_single_engine(self, tiny_model):
         requests = [req(f"r{i}", offset=i) for i in range(8)]
         reference = {}
@@ -352,6 +353,7 @@ class TestFailureContainment:
         # Every request completed somewhere; the survivor recorded the migrants.
         assert len(metrics) == len(requests)
 
+    @pytest.mark.slow
     def test_streams_stay_byte_identical_through_migration(self, tiny_model):
         """Tokens already streamed before the fault are not re-delivered."""
 

@@ -25,6 +25,7 @@ from repro.serving import (
     ServingEngine,
     SimulatedBackend,
 )
+from tests.conftest import assert_no_leaked_pages
 
 VOCAB = tiny_model_config().vocab_size
 
@@ -80,7 +81,7 @@ def test_real_handoff_source_refcounts_drop_to_zero(tiny_model):
     alloc = source.engine.cache.dense_cache.allocator
     assert alloc.num_allocated > 0
     handoff = source.handoff_out("s")
-    assert alloc.num_allocated == 0
+    assert_no_leaked_pages(alloc)
     assert handoff.n_pages > 0
 
 
@@ -209,8 +210,8 @@ def test_disagg_outputs_byte_identical_to_single_engine(tiny_model):
     assert {h.request_id: h.output_tokens for h in handles} == reference
     assert cluster.migrations_total == len(requests)
     for replica in cluster.replicas:
-        alloc = replica.engine.engine.backend.engine.cache.dense_cache.allocator
-        assert alloc.num_allocated == 0
+        backend = replica.engine.engine.backend
+        assert_no_leaked_pages(backend.engine.cache.dense_cache.allocator, backend=backend)
 
 
 def test_disagg_records_transfer_and_tier_metrics(latency):

@@ -207,6 +207,7 @@ class TestCompletions:
         assert len(result.token_ids) == 6
         assert isinstance(result.text, str) and result.text
 
+    @pytest.mark.slow
     def test_sse_byte_identical_to_batch_run_under_preemption(self, model):
         requests = [
             Request.from_prompt(
