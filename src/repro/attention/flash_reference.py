@@ -1,11 +1,19 @@
-"""Block-wise online-softmax attention (FlashAttention-style reference).
+"""Block-wise masked-softmax attention (FlashAttention-style reference).
 
-This mirrors the structure of the GPU attention kernel described in the paper
-(Fig. 3): for each query block, the kernel iterates over KV blocks
-*sequentially*, maintaining running softmax statistics, and a KV block that is
-masked out at block level is skipped entirely — it contributes neither compute
-nor memory traffic.  The number of visited blocks is returned so callers (and
-the cost model) can account for the work actually performed.
+This mirrors the *work accounting* of the GPU attention kernel described in
+the paper (Fig. 3): a KV block that is masked out at block level is skipped
+entirely — it contributes neither compute nor memory traffic — and the number
+of visited blocks is returned so callers (and the cost model) can account for
+the work actually performed.
+
+The computation itself is vectorised: instead of walking ``(head, q_block,
+kv_block)`` tiles in nested Python loops with an online softmax, heads that
+share a block-mask pattern are batched together and each query block computes
+one masked softmax over the union of its visited KV blocks.  A full-row
+masked softmax over exactly the visited columns is numerically equivalent to
+the sequential online-softmax accumulation (both are exact softmax
+re-normalisations); fully-masked query rows produce zero output, matching the
+``l == 0`` convention of the online form.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attention.dense import repeat_kv
-from repro.attention.masks import causal_mask, num_blocks
+from repro.attention.masks import block_causal_mask, causal_mask, num_blocks
+from repro.attention.softmax import NEG_INF, softmax
 
 __all__ = ["BlockAttentionResult", "blockwise_attention"]
 
@@ -56,7 +65,7 @@ def blockwise_attention(
     causal: bool = True,
     scale: float | None = None,
 ) -> BlockAttentionResult:
-    """Online-softmax attention computed block-by-block with block skipping.
+    """Masked-softmax attention computed block-by-block with block skipping.
 
     Parameters
     ----------
@@ -102,63 +111,53 @@ def blockwise_attention(
                 f"(heads={n_heads}, q_blocks={nqb}, kv_blocks={nkb})"
             )
 
-    token_causal = causal_mask(n_q, n_kv) if causal else np.ones((n_q, n_kv), bool)
+    if causal:
+        token_causal = causal_mask(n_q, n_kv)
+        causal_vis = block_causal_mask(n_q, n_kv, q_block, kv_block)
+    else:
+        token_causal = np.ones((n_q, n_kv), dtype=bool)
+        causal_vis = np.ones((nqb, nkb), dtype=bool)
+
+    # Work accounting, fully vectorised: a dense causal kernel visits every
+    # causally visible tile of every head; the sparse kernel only visits the
+    # retained subset.
+    effective = block_mask_h & causal_vis[None, :, :]
+    total = int(np.count_nonzero(causal_vis)) * n_heads
+    visited = int(np.count_nonzero(effective))
 
     out = np.zeros((n_q, n_heads, head_dim), dtype=np.float64)
-    visited = 0
-    total = 0
 
+    # Heads with the same block-mask rows visit the same KV columns, so they
+    # batch into one gather + masked softmax per query block (for LServe's
+    # prefill masks there are at most two patterns: dense and streaming).
+    patterns: dict[bytes, list[int]] = {}
     for h in range(n_heads):
+        patterns.setdefault(effective[h].tobytes(), []).append(h)
+
+    kv_starts = np.arange(nkb) * kv_block
+    for heads in patterns.values():
+        head_idx = np.asarray(heads, dtype=np.intp)
+        mask_rows = effective[heads[0]]  # (nqb, nkb), shared by the group
         for qb in range(nqb):
+            kbs = np.flatnonzero(mask_rows[qb])
+            if kbs.size == 0:
+                continue
             q_start = qb * q_block
             q_end = min(q_start + q_block, n_q)
-            q_tile = q[q_start:q_end, h, :]  # (tq, d)
-            tq = q_end - q_start
+            # Token columns of the visited KV blocks (tail block may be short).
+            cols = (
+                kv_starts[kbs][:, None] + np.arange(kv_block)[None, :]
+            ).ravel()
+            cols = cols[cols < n_kv]
 
-            # Running online-softmax statistics for this query tile.
-            m = np.full(tq, -np.inf)
-            l = np.zeros(tq)
-            acc = np.zeros((tq, head_dim))
+            q_tile = q[q_start:q_end, head_idx, :].transpose(1, 0, 2)  # (G, tq, d)
+            k_sub = k_full[np.ix_(cols, head_idx)].transpose(1, 2, 0)  # (G, d, ns)
+            v_sub = v_full[np.ix_(cols, head_idx)].transpose(1, 0, 2)  # (G, ns, d)
 
-            for kb in range(nkb):
-                k_start = kb * kv_block
-                k_end = min(k_start + kv_block, n_kv)
-                # Count tiles a dense causal kernel would visit.
-                causal_visible = (not causal) or np.any(
-                    token_causal[q_start:q_end, k_start:k_end]
-                )
-                if causal_visible:
-                    total += 1
-                if not block_mask_h[h, qb, kb]:
-                    continue
-                if not causal_visible:
-                    # Tile above the causal diagonal: nothing to compute.
-                    continue
-                visited += 1
-
-                k_tile = k_full[k_start:k_end, h, :]
-                v_tile = v_full[k_start:k_end, h, :]
-                scores = (q_tile @ k_tile.T) * scale  # (tq, tk)
-                if causal:
-                    tile_mask = token_causal[q_start:q_end, k_start:k_end]
-                    scores = np.where(tile_mask, scores, -np.inf)
-
-                block_max = np.max(scores, axis=1)
-                block_max = np.where(np.isfinite(block_max), block_max, -np.inf)
-                new_m = np.maximum(m, block_max)
-                # Rescale factors; exp(-inf - -inf) handled via where.
-                safe_new_m = np.where(np.isfinite(new_m), new_m, 0.0)
-                alpha = np.where(np.isfinite(m), np.exp(m - safe_new_m), 0.0)
-                p = np.exp(
-                    np.where(np.isfinite(scores), scores - safe_new_m[:, None], -np.inf)
-                )
-                p = np.where(np.isfinite(scores), p, 0.0)
-                l = alpha * l + p.sum(axis=1)
-                acc = alpha[:, None] * acc + p @ v_tile
-                m = new_m
-
-            with np.errstate(invalid="ignore", divide="ignore"):
-                normed = np.where(l[:, None] > 0.0, acc / np.where(l[:, None] == 0.0, 1.0, l[:, None]), 0.0)
-            out[q_start:q_end, h, :] = normed
+            scores = (q_tile @ k_sub) * scale  # (G, tq, ns)
+            tile_mask = token_causal[q_start:q_end][:, cols]  # (tq, ns)
+            scores = np.where(tile_mask[None, :, :], scores, NEG_INF)
+            probs = softmax(scores, axis=-1)
+            out[q_start:q_end, head_idx, :] = (probs @ v_sub).transpose(1, 0, 2)
 
     return BlockAttentionResult(output=out, visited_blocks=visited, total_blocks=total)

@@ -93,7 +93,14 @@ def selected_pages_iterator(
 
 
 class BlockSparseLayout:
-    """Per-head, per-query-block iterators describing a block-sparse pattern."""
+    """Per-head, per-query-block iterators describing a block-sparse pattern.
+
+    Alongside the :class:`BlockIterator` API the layout precomputes flat
+    CSR-style index arrays (one concatenated block-index vector plus row
+    offsets over ``(head, q_block)`` cells), so mask materialisation, visit
+    counting, and sparsity accounting are single vectorised numpy operations
+    instead of nested Python loops.
+    """
 
     def __init__(self, iterators: list[list[BlockIterator]], n_kv_blocks: int) -> None:
         if not iterators or not iterators[0]:
@@ -105,6 +112,22 @@ class BlockSparseLayout:
         self.n_heads = len(iterators)
         self.n_q_blocks = n_q_blocks
         self.n_kv_blocks = n_kv_blocks
+        # Flat index arrays: _cell_counts[c] is the number of blocks cell
+        # c = head * n_q_blocks + q_block visits; _block_indices holds the
+        # visited KV block indices of every cell, concatenated in cell order.
+        counts = [len(it) for per_head in iterators for it in per_head]
+        self._cell_counts = np.asarray(counts, dtype=np.int64)
+        if self._cell_counts.sum():
+            self._block_indices = np.concatenate(
+                [
+                    np.asarray(it.blocks, dtype=np.int64)
+                    for per_head in iterators
+                    for it in per_head
+                    if it.blocks
+                ]
+            )
+        else:
+            self._block_indices = np.zeros(0, dtype=np.int64)
 
     def iterator(self, head: int, q_block: int) -> BlockIterator:
         return self._iterators[head][q_block]
@@ -126,15 +149,17 @@ class BlockSparseLayout:
 
     def to_block_mask(self) -> np.ndarray:
         """Boolean mask of shape ``(n_heads, n_q_blocks, n_kv_blocks)``."""
-        mask = np.zeros((self.n_heads, self.n_q_blocks, self.n_kv_blocks), dtype=bool)
-        for h in range(self.n_heads):
-            for qb in range(self.n_q_blocks):
-                mask[h, qb, list(self._iterators[h][qb].blocks)] = True
-        return mask
+        mask = np.zeros((self.n_heads * self.n_q_blocks, self.n_kv_blocks), dtype=bool)
+        if self._block_indices.size:
+            rows = np.repeat(
+                np.arange(self._cell_counts.size), self._cell_counts
+            )
+            mask[rows, self._block_indices] = True
+        return mask.reshape(self.n_heads, self.n_q_blocks, self.n_kv_blocks)
 
     def visited_blocks(self) -> int:
         """Total number of tiles the kernel will compute."""
-        return sum(len(it) for per_head in self._iterators for it in per_head)
+        return int(self._block_indices.size)
 
     def sparsity(self, n_q: int, n_kv: int, q_block: int, kv_block: int) -> float:
         """Fraction of causal tiles skipped relative to a dense causal kernel."""
@@ -142,10 +167,12 @@ class BlockSparseLayout:
         total = int(np.count_nonzero(causal)) * self.n_heads
         if total == 0:
             return 0.0
-        visited = 0
-        for h in range(self.n_heads):
-            for qb in range(self.n_q_blocks):
-                visited += sum(1 for b in self._iterators[h][qb] if causal[qb, b])
+        # Query-block row of every flat entry; one fancy-indexed lookup counts
+        # the causally visible visited tiles across all heads at once.
+        qb_of_entry = np.repeat(
+            np.arange(self._cell_counts.size) % self.n_q_blocks, self._cell_counts
+        )
+        visited = int(np.count_nonzero(causal[qb_of_entry, self._block_indices]))
         return 1.0 - visited / total
 
     def theoretical_speedup(self, n_q: int, n_kv: int, q_block: int, kv_block: int) -> float:

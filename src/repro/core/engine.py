@@ -30,6 +30,7 @@ from repro.core.hierarchical_paging import HierarchicalPagingConfig
 from repro.core.page_selector import PageSelector, ReusablePageSelector
 from repro.core.streaming import StreamingConfig, expand_kv_head_mask
 from repro.core.unified_sparse_attention import (
+    decode_batched_attention,
     decode_group_attention,
     prefill_sparse_attention,
 )
@@ -98,6 +99,19 @@ class EngineStats:
         if self.dense_tokens_total == 0:
             return 1.0
         return self.dense_tokens_attended / self.dense_tokens_total
+
+
+def _rowwise_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``x @ w`` with per-row results independent of the batch size.
+
+    BLAS routes single-row matmuls to a GEMV kernel whose accumulation order
+    differs from the GEMM kernels used for taller inputs; duplicating the lone
+    row forces the GEMM path, so a decode batch of one produces byte-identical
+    rows to the same sequence decoded inside any larger batch.
+    """
+    if x.shape[0] == 1:
+        return (np.concatenate([x, x]) @ w)[:1]
+    return x @ w
 
 
 class LServeEngine:
@@ -478,8 +492,11 @@ class LServeEngine:
             )
         if len(set(seq_ids)) != len(seq_ids):
             raise ValueError("duplicate seq_id in decode batch")
-        for seq_id in seq_ids:
-            if self.cache.seq_len(seq_id) == 0:
+        # One seq_len pass serves validation, RoPE positions, and the
+        # post-append attention contexts for the whole step.
+        lengths = np.array([self.cache.seq_len(s) for s in seq_ids], dtype=np.int64)
+        for i, seq_id in enumerate(seq_ids):
+            if lengths[i] == 0:
                 raise ValueError(f"decode requires a prefilled sequence, got {seq_id!r}")
 
         # Reserve this iteration's pages per sequence *before* touching any
@@ -499,28 +516,31 @@ class LServeEngine:
         cfg = self.model.config
         weights = self.model.weights
         batch = len(seq_ids)
-        positions = np.array([self.cache.seq_len(s) for s in seq_ids])
+        positions = lengths
+        contexts = lengths + 1
 
         hidden = weights.embedding[token_ids]  # (batch, hidden)
         for layer_idx, layer in enumerate(weights.layers):
             attn_in = rms_norm(hidden, layer.attn_norm)
-            q = (attn_in @ layer.wq).reshape(batch, cfg.n_heads, cfg.head_dim)
-            k = (attn_in @ layer.wk).reshape(batch, cfg.n_kv_heads, cfg.head_dim)
-            v = (attn_in @ layer.wv).reshape(batch, cfg.n_kv_heads, cfg.head_dim)
+            q = _rowwise_matmul(attn_in, layer.wq).reshape(batch, cfg.n_heads, cfg.head_dim)
+            k = _rowwise_matmul(attn_in, layer.wk).reshape(batch, cfg.n_kv_heads, cfg.head_dim)
+            v = _rowwise_matmul(attn_in, layer.wv).reshape(batch, cfg.n_kv_heads, cfg.head_dim)
             q = apply_rope(q, positions, self.model.rope)
             k = apply_rope(k, positions, self.model.rope)
-            attn_out = np.empty((batch, cfg.n_heads, cfg.head_dim))
-            for i, seq_id in enumerate(seq_ids):
-                self.cache.append(seq_id, layer_idx, k[i : i + 1], v[i : i + 1])
-                attn_out[i] = self._decode_attention(seq_id, layer_idx, q[i : i + 1])[0]
-            hidden = hidden + attn_out.reshape(batch, cfg.hidden_size) @ layer.wo
+            self.cache.append_batch(seq_ids, layer_idx, k, v)
+            attn_out = self._decode_attention_batch(seq_ids, layer_idx, q, contexts)
+            hidden = hidden + _rowwise_matmul(
+                attn_out.reshape(batch, cfg.hidden_size), layer.wo
+            )
             ffn_in = rms_norm(hidden, layer.ffn_norm)
-            gate = silu(ffn_in @ layer.w_gate) * (ffn_in @ layer.w_up)
-            hidden = hidden + gate @ layer.w_down
+            gate = silu(_rowwise_matmul(ffn_in, layer.w_gate)) * _rowwise_matmul(
+                ffn_in, layer.w_up
+            )
+            hidden = hidden + _rowwise_matmul(gate, layer.w_down)
 
         hidden = rms_norm(hidden, weights.final_norm)
         self.stats.decode_steps += batch
-        return hidden @ weights.lm_head
+        return _rowwise_matmul(hidden, weights.lm_head)
 
     def generate(
         self,
@@ -654,47 +674,126 @@ class LServeEngine:
         return output
 
     def _decode_attention(self, seq_id: object, layer_idx: int, q: np.ndarray) -> np.ndarray:
+        """Decode attention for one sequence (the batch path with batch = 1)."""
+        contexts = np.array([self.cache.seq_len(seq_id)], dtype=np.int64)
+        return self._decode_attention_batch([seq_id], layer_idx, q, contexts)
+
+    def _decode_attention_batch(
+        self,
+        seq_ids: list[object],
+        layer_idx: int,
+        q: np.ndarray,
+        contexts: np.ndarray,
+    ) -> np.ndarray:
+        """Decode attention for a whole batch, vectorised across sequences × heads.
+
+        Sequences are grouped by gathered-KV shape and each group runs as one
+        stacked-matmul attention call (:func:`decode_batched_attention`).
+        Grouping — never padding — keeps every sequence's slice bitwise
+        independent of the batch composition, so decoding a sequence alone or
+        inside any batch yields byte-identical output.  ``contexts[i]`` is
+        ``seq_ids[i]``'s context length *after* this step's append.
+        """
         cfg = self.model.config
         group = cfg.gqa_group_size
-        context = self.cache.seq_len(seq_id)
-        output = np.zeros((1, cfg.n_heads, cfg.head_dim))
+        batch = len(seq_ids)
+        output = np.zeros((batch, cfg.n_heads, cfg.head_dim))
 
-        # Streaming heads: constant-size sink + local window.
+        # Streaming heads: constant-size sink + local window, grouped by the
+        # number of tokens the store currently retains.
         if self._streaming_kv_heads_idx.size:
-            k_s, v_s, _ = self.cache.get_streaming(seq_id, layer_idx)
-            for store_idx, kv_head in enumerate(self._streaming_kv_heads_idx):
-                heads = np.arange(kv_head * group, (kv_head + 1) * group)
-                output[0, heads] = decode_group_attention(
-                    q[0, heads], k_s[:, store_idx], v_s[:, store_idx]
+            sq_idx = np.flatnonzero(self.streaming_query_heads)
+            n_streams = int(self._streaming_kv_heads_idx.size)
+            stream_stores = []
+            stream_groups: dict[int, list[int]] = {}
+            for i, seq_id in enumerate(seq_ids):
+                store = self.cache.streaming_store(seq_id, layer_idx)
+                assert store is not None
+                stream_stores.append(store)
+                stored = store.stored_tokens
+                stream_groups.setdefault(stored, []).append(i)
+                self.stats.streaming_tokens_attended += stored * n_streams
+            for stored, idxs in stream_groups.items():
+                rows = np.asarray(idxs, dtype=np.intp)
+                # Each store copies straight into its row of the token-major
+                # (G, T, Hs, d) group stack; attention reads it head-major.
+                k_g = np.empty((len(idxs), stored, n_streams, cfg.head_dim))
+                v_g = np.empty_like(k_g)
+                for j, i in enumerate(idxs):
+                    stream_stores[i].read_into(k_g[j], v_g[j])
+                output[np.ix_(rows, sq_idx)] = decode_batched_attention(
+                    q[np.ix_(rows, sq_idx)],
+                    k_g.transpose(0, 2, 1, 3),
+                    v_g.transpose(0, 2, 1, 3),
+                    gqa_group_size=group,
                 )
-                self.stats.streaming_tokens_attended += int(k_s.shape[0])
 
-        # Dense heads: dynamic page selection over the full history.
+        # Dense heads: dynamic page selection over the full history once the
+        # context crosses the sparsity threshold, full reads below it.
         if self._dense_kv_heads.size:
             dense_cache = self.cache.dense_cache
             assert dense_cache is not None
-            if self.config.dynamic_sparsity_active(context):
-                kmin, kmax = self.cache.dense_key_stats(seq_id, layer_idx)
-                q_dense = q[0, self._dense_query_heads, :]
-                selection = self.selector.select(
-                    (seq_id, layer_idx), q_dense, kmin, kmax, gqa_group_size=group
+            dq_idx = self._dense_query_heads
+            n_dense = int(self._dense_kv_heads.size)
+            sel_pages: dict[int, np.ndarray] = {}
+            sel_groups: dict[tuple[int, int], list[int]] = {}
+            full_kv: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            full_groups: dict[int, list[int]] = {}
+            for i, seq_id in enumerate(seq_ids):
+                context = int(contexts[i])
+                if self.config.dynamic_sparsity_active(context):
+                    key = (seq_id, layer_idx)
+                    selection = self.selector.lookup(
+                        key, dense_cache.num_logical_pages(seq_id, layer_idx)
+                    )
+                    if selection is None:
+                        kmin, kmax = self.cache.dense_key_stats(seq_id, layer_idx)
+                        selection = self.selector.select(
+                            key, q[i, dq_idx, :], kmin, kmax, gqa_group_size=group
+                        )
+                    matrix = selection.pages_matrix()
+                    signature = (
+                        dense_cache.selected_token_count(seq_id, layer_idx, matrix)
+                        if matrix is not None
+                        else None
+                    )
+                    if signature is None:
+                        # Ragged per-head selection: per-head gather fallback.
+                        for dense_idx, kv_head in enumerate(self._dense_kv_heads):
+                            heads = np.arange(kv_head * group, (kv_head + 1) * group)
+                            pages = selection.pages_per_kv_head[dense_idx]
+                            k_sel, v_sel, _ = dense_cache.gather_pages(
+                                seq_id, layer_idx, pages
+                            )
+                            output[i, heads] = decode_group_attention(
+                                q[i, heads], k_sel[:, dense_idx], v_sel[:, dense_idx]
+                            )
+                            self.stats.dense_tokens_attended += int(k_sel.shape[0])
+                            self.stats.dense_tokens_total += context
+                        continue
+                    sel_pages[i] = matrix
+                    sel_groups.setdefault(signature, []).append(i)
+                    self.stats.dense_tokens_attended += signature[0] * n_dense
+                    self.stats.dense_tokens_total += context * n_dense
+                else:
+                    k_d, v_d = self.cache.get_dense(seq_id, layer_idx)
+                    full_kv[i] = (k_d, v_d)  # token-major (context, Hd, d)
+                    full_groups.setdefault(int(k_d.shape[0]), []).append(i)
+                    self.stats.dense_tokens_attended += context * n_dense
+                    self.stats.dense_tokens_total += context * n_dense
+            for idxs in sel_groups.values():
+                rows = np.asarray(idxs, dtype=np.intp)
+                k_g, v_g = dense_cache.gather_selected_batch(
+                    [seq_ids[i] for i in idxs], layer_idx, [sel_pages[i] for i in idxs]
+                )  # head-major (G, Hd, N, d)
+                output[np.ix_(rows, dq_idx)] = decode_batched_attention(
+                    q[np.ix_(rows, dq_idx)], k_g, v_g, gqa_group_size=group
                 )
-                for dense_idx, kv_head in enumerate(self._dense_kv_heads):
-                    heads = np.arange(kv_head * group, (kv_head + 1) * group)
-                    pages = selection.pages_per_kv_head[dense_idx]
-                    k_sel, v_sel, _ = dense_cache.gather_pages(seq_id, layer_idx, pages)
-                    output[0, heads] = decode_group_attention(
-                        q[0, heads], k_sel[:, dense_idx], v_sel[:, dense_idx]
-                    )
-                    self.stats.dense_tokens_attended += int(k_sel.shape[0])
-                    self.stats.dense_tokens_total += context
-            else:
-                k_d, v_d = self.cache.get_dense(seq_id, layer_idx)
-                for dense_idx, kv_head in enumerate(self._dense_kv_heads):
-                    heads = np.arange(kv_head * group, (kv_head + 1) * group)
-                    output[0, heads] = decode_group_attention(
-                        q[0, heads], k_d[:, dense_idx], v_d[:, dense_idx]
-                    )
-                    self.stats.dense_tokens_attended += context
-                    self.stats.dense_tokens_total += context
+            for idxs in full_groups.values():
+                rows = np.asarray(idxs, dtype=np.intp)
+                k_g = np.stack([full_kv[i][0] for i in idxs]).transpose(0, 2, 1, 3)
+                v_g = np.stack([full_kv[i][1] for i in idxs]).transpose(0, 2, 1, 3)
+                output[np.ix_(rows, dq_idx)] = decode_batched_attention(
+                    q[np.ix_(rows, dq_idx)], k_g, v_g, gqa_group_size=group
+                )
         return output

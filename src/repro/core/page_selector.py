@@ -42,6 +42,26 @@ class PageSelection:
     n_physical_pages: int
     n_logical_pages: int = 0
 
+    def pages_matrix(self) -> np.ndarray | None:
+        """Stacked ``(n_kv_heads, n_selected)`` page positions, or ``None``.
+
+        ``None`` means the selection is ragged (heads kept different page
+        counts) and batched gathering does not apply.  Cached — selections are
+        reused across ``reuse_interval`` decode steps, so the hot path stacks
+        each selection once.
+        """
+        cached = getattr(self, "_pages_matrix", None)
+        if cached is None:
+            if not self.pages_per_kv_head or any(
+                len(p) != len(self.pages_per_kv_head[0]) or len(p) == 0
+                for p in self.pages_per_kv_head
+            ):
+                cached = (None,)
+            else:
+                cached = (np.stack(self.pages_per_kv_head).astype(np.int64),)
+            self._pages_matrix = cached
+        return cached[0]
+
     def selected_fraction(self) -> float:
         """Average fraction of physical pages kept across KV heads."""
         if self.n_physical_pages == 0 or not self.pages_per_kv_head:
@@ -116,6 +136,19 @@ class ReusablePageSelector:
         self.reuse_interval = reuse_interval
         self.num_queries = 0
         self._cache: dict[object, _CacheEntry] = {}
+        # seq_id -> cache keys belonging to it, so releasing/exporting one
+        # sequence is O(its own keys) instead of a scan of the whole cache.
+        self._seq_keys: dict[object, set[object]] = {}
+
+    @staticmethod
+    def _seq_of(key: object) -> object:
+        """The sequence a cache key belongs to (engine keys are (seq, layer))."""
+        if isinstance(key, tuple) and len(key) > 0:
+            return key[0]
+        return key
+
+    def _index_key(self, key: object) -> None:
+        self._seq_keys.setdefault(self._seq_of(key), set()).add(key)
 
     @property
     def num_selector_calls(self) -> int:
@@ -131,8 +164,13 @@ class ReusablePageSelector:
         """Drop cached selections (all of them, or one cache key's)."""
         if key is None:
             self._cache.clear()
-        else:
-            self._cache.pop(key, None)
+            self._seq_keys.clear()
+        elif self._cache.pop(key, None) is not None:
+            keys = self._seq_keys.get(self._seq_of(key))
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._seq_keys[self._seq_of(key)]
 
     def release_sequence(self, seq_id: object) -> None:
         """Drop every cached selection belonging to one sequence.
@@ -142,13 +180,8 @@ class ReusablePageSelector:
         every other live sequence untouched.  Bare ``seq_id`` keys are evicted
         too, for callers that do not key by layer.
         """
-        stale = [
-            key
-            for key in self._cache
-            if key == seq_id or (isinstance(key, tuple) and len(key) > 0 and key[0] == seq_id)
-        ]
-        for key in stale:
-            del self._cache[key]
+        for key in self._seq_keys.pop(seq_id, ()):
+            self._cache.pop(key, None)
 
     def export_sequence(self, seq_id: object) -> dict:
         """Snapshot one sequence's cached selections (KV-tiering demote support).
@@ -159,10 +192,9 @@ class ReusablePageSelector:
         private copy keyed exactly like the cache.
         """
         out: dict[object, _CacheEntry] = {}
-        for key, entry in self._cache.items():
-            if key == seq_id or (
-                isinstance(key, tuple) and len(key) > 0 and key[0] == seq_id
-            ):
+        for key in self._seq_keys.get(seq_id, ()):
+            entry = self._cache.get(key)
+            if entry is not None:
                 out[key] = _CacheEntry(
                     selection=entry.selection, queries_served=entry.queries_served
                 )
@@ -174,6 +206,31 @@ class ReusablePageSelector:
             self._cache[key] = _CacheEntry(
                 selection=entry.selection, queries_served=entry.queries_served
             )
+            self._index_key(key)
+
+    def lookup(self, key: object, n_logical_pages: int) -> PageSelection | None:
+        """Serve a cached selection without touching the key statistics.
+
+        The freshness test only needs the logical-page count (the physical
+        count is derived from it), so hot decode paths can check the cache
+        *before* stacking kmin/kmax — the stats are only materialised on a
+        miss, which then goes through :meth:`select`.  A hit counts as one
+        served query; a miss counts nothing (the follow-up ``select`` call
+        does), so exactly one query is recorded either way.
+        """
+        n_logical = int(n_logical_pages)
+        n_physical = -(-n_logical // self.selector.config.logical_pages_per_physical)
+        entry = self._cache.get(key)
+        if (
+            entry is not None
+            and entry.queries_served < self.reuse_interval
+            and entry.selection.n_physical_pages == n_physical
+            and entry.selection.n_logical_pages == n_logical
+        ):
+            self.num_queries += 1
+            entry.queries_served += 1
+            return entry.selection
+        return None
 
     def select(
         self,
@@ -202,4 +259,5 @@ class ReusablePageSelector:
             return entry.selection
         selection = self.selector.select(query, kmin, kmax, gqa_group_size=gqa_group_size)
         self._cache[key] = _CacheEntry(selection=selection, queries_served=1)
+        self._index_key(key)
         return selection

@@ -27,6 +27,7 @@ __all__ = [
     "PrefillAttentionStats",
     "prefill_sparse_attention",
     "decode_group_attention",
+    "decode_batched_attention",
 ]
 
 
@@ -82,6 +83,50 @@ def prefill_sparse_attention(
         visited_blocks=result.visited_blocks, total_blocks=result.total_blocks
     )
     return result.output, stats
+
+
+def decode_batched_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, gqa_group_size: int = 1
+) -> np.ndarray:
+    """Decode attention for a batch of sequences over all their KV heads at once.
+
+    ``q`` is ``(batch, n_q_heads, head_dim)`` (one decode query per sequence);
+    ``k``/``v`` are **head-major** gathered KV subsets of shape
+    ``(batch, n_kv_heads, n_tokens, head_dim)`` — every sequence in the batch
+    must have gathered the same number of tokens per head (callers group
+    sequences by shape first).  Every gathered token is causally visible to
+    the decode query by construction, so no mask is applied.  Returns
+    ``(batch, n_q_heads, head_dim)``.
+
+    The whole computation is expressed as stacked matmuls and per-row
+    reductions over the last axis, so each sequence's slice is bitwise
+    independent of the batch composition: decoding a sequence alone or inside
+    any batch produces byte-identical output (padding across sequences would
+    change numpy's pairwise-summation grouping and break this, which is why
+    callers group by shape instead of padding).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if q.ndim != 3 or k.ndim != 4 or v.shape != k.shape:
+        raise ValueError("bad shapes for decode_batched_attention")
+    batch, n_q_heads, head_dim = q.shape
+    n_kv_heads, n_tokens = k.shape[1], k.shape[2]
+    if k.shape[0] != batch or n_q_heads != n_kv_heads * gqa_group_size:
+        raise ValueError(
+            f"q heads ({n_q_heads}) must equal kv heads ({n_kv_heads}) x "
+            f"group ({gqa_group_size}) over a matching batch"
+        )
+    if n_tokens == 0:
+        return np.zeros_like(q)
+    scale = 1.0 / np.sqrt(head_dim)
+    q_g = q.reshape(batch, n_kv_heads, gqa_group_size, head_dim)
+    scores = (q_g @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, g, T)
+    shift = scores.max(axis=-1, keepdims=True)
+    p = np.exp(scores - shift)
+    denom = p.sum(axis=-1, keepdims=True)
+    out = (p / denom) @ v  # (B, H, g, d)
+    return out.reshape(batch, n_q_heads, head_dim)
 
 
 def decode_group_attention(

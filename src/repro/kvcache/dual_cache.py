@@ -11,7 +11,7 @@ models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -63,11 +63,6 @@ class StreamingKVStore:
     sink_tokens: int
     local_tokens: int
     eviction_granularity: int = 1
-    _sink_k: list[np.ndarray] = field(default_factory=list)
-    _sink_v: list[np.ndarray] = field(default_factory=list)
-    _local_k: list[np.ndarray] = field(default_factory=list)
-    _local_v: list[np.ndarray] = field(default_factory=list)
-    _local_pos: list[int] = field(default_factory=list)
     _total_tokens: int = 0
 
     def __post_init__(self) -> None:
@@ -75,6 +70,17 @@ class StreamingKVStore:
             raise ValueError("sink_tokens must be >= 0 and local_tokens >= 1")
         if self.eviction_granularity < 1:
             raise ValueError("eviction_granularity must be >= 1")
+        # Preallocated buffers: the sink prefix plus a position-indexed ring
+        # for the local window.  The retained local range always spans at most
+        # ``local_blocks * granularity`` consecutive positions, so indexing
+        # the ring by ``position % capacity`` is collision-free and eviction
+        # is implicit (dropped positions simply stop being read).
+        shape_tail = (self.n_kv_heads, self.head_dim)
+        self._sink_k = np.zeros((self.sink_tokens, *shape_tail))
+        self._sink_v = np.zeros((self.sink_tokens, *shape_tail))
+        cap = self.local_blocks * self.eviction_granularity
+        self._local_k = np.zeros((cap, *shape_tail))
+        self._local_v = np.zeros((cap, *shape_tail))
 
     @property
     def local_blocks(self) -> int:
@@ -86,28 +92,37 @@ class StreamingKVStore:
         g = self.eviction_granularity
         return (position // g - self.local_blocks + 1) * g
 
+    def _local_from(self) -> int:
+        """First retained local position (== total when no local tokens yet)."""
+        total = self._total_tokens
+        if total <= self.sink_tokens:
+            return total
+        return max(self.sink_tokens, self._local_window_start(total - 1))
+
     def append(self, k: np.ndarray, v: np.ndarray) -> None:
         """Append new tokens ``(n_new, n_kv_heads, head_dim)``."""
         k = np.asarray(k, dtype=np.float64)
         v = np.asarray(v, dtype=np.float64)
         expected_tail = (self.n_kv_heads, self.head_dim)
-        if k.shape[1:] != expected_tail or v.shape != k.shape:
+        if k.ndim != 3 or k.shape[1:] != expected_tail or v.shape != k.shape:
             raise ValueError(f"bad streaming KV shape {k.shape} / {v.shape}")
-        for i in range(k.shape[0]):
-            pos = self._total_tokens
-            if pos < self.sink_tokens:
-                self._sink_k.append(k[i])
-                self._sink_v.append(v[i])
-            else:
-                self._local_k.append(k[i])
-                self._local_v.append(v[i])
-                self._local_pos.append(pos)
-                window_start = self._local_window_start(pos)
-                while self._local_pos and self._local_pos[0] < window_start:
-                    self._local_k.pop(0)
-                    self._local_v.pop(0)
-                    self._local_pos.pop(0)
-            self._total_tokens += 1
+        n_new = k.shape[0]
+        if n_new == 0:
+            return
+        start = self._total_tokens
+        total = start + n_new
+        if start < self.sink_tokens:
+            m = min(self.sink_tokens, total) - start
+            self._sink_k[start : start + m] = k[:m]
+            self._sink_v[start : start + m] = v[:m]
+        self._total_tokens = total
+        # Only the positions still inside the final window need writing.
+        lo = max(start, self._local_from())
+        if lo < total:
+            pos = np.arange(lo, total)
+            ring = pos % self._local_k.shape[0]
+            self._local_k[ring] = k[pos - start]
+            self._local_v[ring] = v[pos - start]
 
     @property
     def total_tokens(self) -> int:
@@ -117,7 +132,8 @@ class StreamingKVStore:
     @property
     def stored_tokens(self) -> int:
         """Number of tokens actually held (bounded by sink + local)."""
-        return len(self._sink_k) + len(self._local_k)
+        total = self._total_tokens
+        return min(self.sink_tokens, total) + (total - self._local_from())
 
     def clone(self) -> "StreamingKVStore":
         """An independent copy (used when forking a sequence)."""
@@ -128,11 +144,10 @@ class StreamingKVStore:
             local_tokens=self.local_tokens,
             eviction_granularity=self.eviction_granularity,
         )
-        copy._sink_k = list(self._sink_k)
-        copy._sink_v = list(self._sink_v)
-        copy._local_k = list(self._local_k)
-        copy._local_v = list(self._local_v)
-        copy._local_pos = list(self._local_pos)
+        copy._sink_k = self._sink_k.copy()
+        copy._sink_v = self._sink_v.copy()
+        copy._local_k = self._local_k.copy()
+        copy._local_v = self._local_v.copy()
         copy._total_tokens = self._total_tokens
         return copy
 
@@ -170,26 +185,49 @@ class StreamingKVStore:
             raise ValueError(
                 f"history covers {k_history.shape[0]} tokens; need {total_tokens}"
             )
-        n_sink = min(sink_tokens, total_tokens)
-        store._sink_k = [np.array(k_history[i]) for i in range(n_sink)]
-        store._sink_v = [np.array(v_history[i]) for i in range(n_sink)]
-        window_start = store._local_window_start(total_tokens - 1)
-        local_from = max(window_start, sink_tokens)
-        store._local_pos = list(range(local_from, total_tokens))
-        store._local_k = [np.array(k_history[i]) for i in store._local_pos]
-        store._local_v = [np.array(v_history[i]) for i in store._local_pos]
-        store._total_tokens = total_tokens
+        store.append(
+            np.asarray(k_history[:total_tokens], dtype=np.float64),
+            np.asarray(v_history[:total_tokens], dtype=np.float64),
+        )
         return store
+
+    def read_into(self, k_out: np.ndarray, v_out: np.ndarray) -> None:
+        """Copy the stored tokens, in position order, into caller buffers.
+
+        ``k_out``/``v_out`` are ``(stored_tokens, n_kv_heads, head_dim)`` —
+        the batched decode path fills one row of a preallocated group stack
+        per sequence, skipping the intermediate copies :meth:`get` makes.
+        """
+        total = self._total_tokens
+        n_sink = min(self.sink_tokens, total)
+        k_out[:n_sink] = self._sink_k[:n_sink]
+        v_out[:n_sink] = self._sink_v[:n_sink]
+        lo = self._local_from()
+        if lo < total:
+            cap = self._local_k.shape[0]
+            r0 = lo % cap
+            first = min(cap - r0, total - lo)
+            k_out[n_sink : n_sink + first] = self._local_k[r0 : r0 + first]
+            v_out[n_sink : n_sink + first] = self._local_v[r0 : r0 + first]
+            wrap = (total - lo) - first
+            if wrap:
+                k_out[n_sink + first :] = self._local_k[:wrap]
+                v_out[n_sink + first :] = self._local_v[:wrap]
 
     def get(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return stored ``(k, v, positions)`` in position order."""
-        if self.stored_tokens == 0:
+        stored = self.stored_tokens
+        if stored == 0:
             empty = np.zeros((0, self.n_kv_heads, self.head_dim))
             return empty, empty.copy(), np.zeros(0, dtype=np.int64)
-        ks = self._sink_k + self._local_k
-        vs = self._sink_v + self._local_v
-        positions = list(range(len(self._sink_k))) + self._local_pos
-        return np.stack(ks), np.stack(vs), np.asarray(positions, dtype=np.int64)
+        k = np.empty((stored, self.n_kv_heads, self.head_dim))
+        v = np.empty((stored, self.n_kv_heads, self.head_dim))
+        self.read_into(k, v)
+        n_sink = min(self.sink_tokens, self._total_tokens)
+        positions = np.concatenate(
+            [np.arange(n_sink), np.arange(self._local_from(), self._total_tokens)]
+        )
+        return k, v, positions.astype(np.int64)
 
     def memory_bytes_model(self, bytes_per_element: float = 2.0) -> float:
         capacity = self.sink_tokens + self.local_blocks * self.eviction_granularity
@@ -479,7 +517,41 @@ class DualPagedKVCache:
                 # Fancy-indexed slices above are fresh arrays; log them as-is.
                 self._stream_log.setdefault((seq_id, layer), []).append((k_s, v_s))
 
+    def append_batch(
+        self, seq_ids: list[object], layer: int, k: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Append one decode token per sequence, routed to both stores at once.
+
+        ``k``/``v`` are ``(batch, n_kv_heads, head_dim)`` — row ``i`` is the
+        new token of ``seq_ids[i]``.  The dense heads go through the paged
+        pool's batched append (one scatter write); the streaming heads are
+        constant-size ring stores, so they stay per-sequence.
+        """
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if k.ndim != 3 or k.shape[0] != len(seq_ids) or k.shape[1] != self.config.n_kv_heads:
+            raise ValueError(
+                f"expected ({len(seq_ids)}, {self.config.n_kv_heads}, head_dim), got {k.shape}"
+            )
+        if self.dense_cache is not None:
+            self.dense_cache.append_token_batch(
+                seq_ids, layer, k[:, self.dense_head_indices], v[:, self.dense_head_indices]
+            )
+        if self.streaming_head_indices.size:
+            k_s = k[:, self.streaming_head_indices]
+            v_s = v[:, self.streaming_head_indices]
+            for i, seq_id in enumerate(seq_ids):
+                self._streaming[(seq_id, layer)].append(k_s[i : i + 1], v_s[i : i + 1])
+                if self.retain_streaming_pages:
+                    self._stream_log.setdefault((seq_id, layer), []).append(
+                        (k_s[i : i + 1], v_s[i : i + 1])
+                    )
+
     # -- reads ---------------------------------------------------------------------
+    def streaming_store(self, seq_id: object, layer: int) -> StreamingKVStore | None:
+        """The streaming store of one ``(sequence, layer)``, if any heads stream."""
+        return self._streaming.get((seq_id, layer))
+
     def get_dense(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
         """Full KV history of the dense KV heads."""
         if self.dense_cache is None:

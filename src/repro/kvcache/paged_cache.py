@@ -406,6 +406,61 @@ class PagedKVCache:
         self._tokens[(seq_id, layer)] = end
         self._update_key_stats(seq_id, layer, start, k)
 
+    def append_token_batch(
+        self, seq_ids: list[object], layer: int, k: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Append one token per sequence for one layer, batched across sequences.
+
+        ``k``/``v`` have shape ``(batch, n_kv_heads, head_dim)`` — row ``i`` is
+        sequence ``seq_ids[i]``'s new token.  Quantization groups are per
+        ``(token, head)`` channel row (``group_axis=-1``), so quantizing the
+        whole batch at once is bit-identical to quantizing each sequence's
+        token separately; the page-store write is a single fancy-indexed
+        scatter.  Copy-on-write and page growth follow the same per-sequence
+        rules as :meth:`append` (callers normally reserve via
+        :meth:`prepare_append` first, making those branches no-ops).
+        """
+        cfg = self.config
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        expected = (len(seq_ids), cfg.n_kv_heads, cfg.head_dim)
+        if k.shape != expected or v.shape != expected:
+            raise ValueError(
+                f"k/v must have shape {expected}; got {k.shape} and {v.shape}"
+            )
+        if not 0 <= layer < cfg.n_layers:
+            raise IndexError(f"layer {layer} out of range")
+        if not seq_ids:
+            return
+
+        pages = np.empty(len(seq_ids), dtype=np.intp)
+        slots = np.empty(len(seq_ids), dtype=np.intp)
+        starts = []
+        for i, seq_id in enumerate(seq_ids):
+            table = self._table(seq_id)
+            start = self._tokens[(seq_id, layer)]
+            if self._tail_needs_cow(table, start):
+                self._copy_tail_page_on_write(table, start // cfg.page_size)
+            if start + 1 > table.num_pages * cfg.page_size:
+                table.append_pages(self.allocator.allocate_many(1))
+            if start + 1 > table.num_tokens:
+                table.num_tokens = start + 1
+            pages[i] = table.pages[start // cfg.page_size]
+            slots[i] = start % cfg.page_size
+            starts.append(start)
+
+        if cfg.kv_bits < 16:
+            k_stored = dequantize(quantize(k, cfg.kv_bits))
+            v_stored = dequantize(quantize(v, cfg.kv_bits))
+        else:
+            k_stored, v_stored = k, v
+        self._k_store[layer][pages, slots] = k_stored
+        self._v_store[layer][pages, slots] = v_stored
+
+        for i, seq_id in enumerate(seq_ids):
+            self._tokens[(seq_id, layer)] = starts[i] + 1
+            self._update_key_stats(seq_id, layer, starts[i], k[i : i + 1])
+
     def _update_key_stats(
         self, seq_id: object, layer: int, start: int, new_keys: np.ndarray
     ) -> None:
@@ -484,6 +539,124 @@ class PagedKVCache:
             empty = np.zeros((0, cfg.n_kv_heads, cfg.head_dim))
             return empty, empty.copy(), np.zeros(0, dtype=np.int64)
         return np.concatenate(ks), np.concatenate(vs), np.concatenate(toks)
+
+    def selected_token_count(
+        self,
+        seq_id: object,
+        layer: int,
+        pages_per_head: list[np.ndarray] | np.ndarray,
+    ) -> tuple[int, int] | None:
+        """Shape signature ``(n_tokens, n_pages)`` of a uniform page selection.
+
+        ``pages_per_head`` is either the per-head list of a
+        :class:`~repro.core.page_selector.PageSelection` or its prestacked
+        ``(n_kv_heads, n_selected)`` matrix.  Returns ``None`` when the
+        selection is ragged (heads select different page counts or gather
+        different token totals) or references an empty page — callers then
+        fall back to per-head :meth:`gather_pages`.  In the decode path the
+        uniform shape always holds: every head selects ``min(n_pages,
+        budget)`` pages and the partially filled tail page is always among
+        them.  The signature is what batched decode groups sequences by
+        before :meth:`gather_selected_batch`.
+        """
+        cfg = self.config
+        table = self._table(seq_id)
+        n_tokens = self._tokens[(seq_id, layer)]
+        if isinstance(pages_per_head, np.ndarray) and pages_per_head.ndim == 2:
+            pos = pages_per_head
+        else:
+            if len(pages_per_head) != cfg.n_kv_heads or not pages_per_head:
+                return None
+            n_sel = len(pages_per_head[0])
+            if n_sel == 0 or any(len(p) != n_sel for p in pages_per_head):
+                return None
+            pos = np.asarray(np.stack(pages_per_head), dtype=np.int64)  # (H, P)
+        if pos.shape[0] != cfg.n_kv_heads or pos.shape[1] == 0:
+            return None
+        if pos.min() < 0 or pos.max() >= table.num_pages:
+            raise IndexError("page position out of range")
+        fills = np.minimum(cfg.page_size, n_tokens - pos * cfg.page_size)  # (H, P)
+        if fills.min() <= 0:
+            return None
+        per_head = fills.sum(axis=1)
+        n_gathered = int(per_head[0])
+        if not np.all(per_head == n_gathered):
+            return None
+        return n_gathered, int(pos.shape[1])
+
+    def gather_selected_batch(
+        self,
+        seq_ids: list[object],
+        layer: int,
+        selections: list[list[np.ndarray] | np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather every sequence's per-head selected pages in one indexed read.
+
+        ``selections[i]`` is sequence ``i``'s ``pages_per_kv_head`` list (or
+        its prestacked ``(n_kv_heads, n_selected)`` matrix); all sequences
+        must share the same ``(n_tokens, n_pages)`` selection signature
+        (callers group by :meth:`selected_token_count` first).  Returns
+        head-major ``(k, v)`` of shape ``(batch, n_kv_heads, n_tokens,
+        head_dim)``.  The gather is pure indexing, so each sequence's slice
+        is byte-identical to gathering it alone.
+        """
+        cfg = self.config
+        # (G, H, P) page positions and per-sequence page-id/token-count rows.
+        pos = np.asarray(
+            np.stack(
+                [
+                    sel
+                    if isinstance(sel, np.ndarray) and sel.ndim == 2
+                    else np.stack(sel)
+                    for sel in selections
+                ]
+            ),
+            dtype=np.int64,
+        )
+        page_ids = np.stack(
+            [
+                np.asarray(self._table(seq_id).pages, dtype=np.intp)[pos[i]]
+                for i, seq_id in enumerate(seq_ids)
+            ]
+        )
+        n_tokens = np.asarray(
+            [self._tokens[(seq_id, layer)] for seq_id in seq_ids], dtype=np.int64
+        )
+        fills = np.minimum(cfg.page_size, n_tokens[:, None, None] - pos * cfg.page_size)
+        self.allocator.touch_many(np.unique(page_ids).tolist())
+
+        # Per-token (page, slot) index arrays: repeat each page id by its fill
+        # and lay consecutive slot aranges under them.
+        flat_fills = fills.ravel()
+        batch, n_heads = pos.shape[0], pos.shape[1]
+        n_gathered = int(fills[0, 0].sum())
+        token_pages = np.repeat(page_ids.ravel(), flat_fills).reshape(
+            batch, n_heads, n_gathered
+        )
+        ends = np.cumsum(flat_fills)
+        token_slots = (
+            np.arange(ends[-1]) - np.repeat(ends - flat_fills, flat_fills)
+        ).reshape(batch, n_heads, n_gathered)
+        head_idx = np.arange(n_heads, dtype=np.intp)[None, :, None]
+        k = self._k_store[layer][token_pages, token_slots, head_idx]
+        v = self._v_store[layer][token_pages, token_slots, head_idx]
+        return k, v
+
+    def gather_selected(
+        self,
+        seq_id: object,
+        layer: int,
+        pages_per_head: list[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Single-sequence :meth:`gather_selected_batch` (``None`` when ragged).
+
+        Returns head-major ``(k, v)`` of shape ``(n_kv_heads, n_tokens,
+        head_dim)``.
+        """
+        if self.selected_token_count(seq_id, layer, pages_per_head) is None:
+            return None
+        k, v = self.gather_selected_batch([seq_id], layer, [pages_per_head])
+        return k[0], v[0]
 
     def key_stats(self, seq_id: object, layer: int) -> tuple[np.ndarray, np.ndarray]:
         """Per-logical-page key statistics as stacked arrays.

@@ -69,6 +69,10 @@ class RequestHandle:
     restored_pages: int = 0
     restore_ms: float = 0.0
     _rng: np.random.Generator | None = None
+    #: Resolved sampling parameters (request override or engine default),
+    #: computed once at submission so the per-token decode loop never
+    #: re-resolves them.
+    _params: SamplingParams | None = None
 
     @property
     def request_id(self) -> str:
@@ -152,6 +156,14 @@ class ServingEngine:
         #: Ids of requests withdrawn via :meth:`abort`, in abort order.
         self.aborted_ids: list[str] = []
         self._handles: dict[str, RequestHandle] = {}
+        # Optional backend gauge accessors, resolved once (the backend is
+        # fixed for the engine's lifetime; live_gauges runs per step).  The
+        # bound methods read live state at call time; ``cold_store`` is a
+        # property whose value changes, so only its presence is cached.
+        self._backend_kv_gauge = getattr(backend, "kv_tokens_in_use", None)
+        self._cold_tokens_gauge = getattr(backend, "cold_kv_tokens", None)
+        self._cold_pages_gauge = getattr(backend, "cold_pages", None)
+        self._has_cold_store = hasattr(backend, "cold_store")
         self._arrivals: list[Request] = []  # sorted by arrival time (FCFS ties stable)
         #: Ids adopted via :meth:`adopt` whose migrated KV is materialised on
         #: the backend but not yet attached to the decode batch.
@@ -166,6 +178,7 @@ class ServingEngine:
         self.scheduler.config.validate_request_fits(request)
         handle = RequestHandle(request=request, state=RequestState(request=request))
         params = request.sampling or self.default_sampling
+        handle._params = params
         handle._rng = np.random.default_rng(params.seed)
         self._handles[request.request_id] = handle
         insort(self._arrivals, request, key=lambda r: r.arrival_time_s)
@@ -224,9 +237,9 @@ class ServingEngine:
             transfer_ms=float(transfer_ms),
             migrated_pages=int(migrated_pages),
         )
+        handle._params = request.sampling or self.default_sampling
         if rng is None:
-            params = request.sampling or self.default_sampling
-            rng = np.random.default_rng(params.seed)
+            rng = np.random.default_rng(handle._params.seed)
         handle._rng = rng
         self._handles[request.request_id] = handle
         self._adopted_ready.add(request.request_id)
@@ -308,10 +321,10 @@ class ServingEngine:
 
     def live_gauges(self) -> LiveGauges:
         """Snapshot the engine's instantaneous state (queue/batch/KV gauges)."""
-        backend_kv = getattr(self.backend, "kv_tokens_in_use", None)
-        cold_tokens = getattr(self.backend, "cold_kv_tokens", None)
-        cold_pages = getattr(self.backend, "cold_pages", None)
-        cold_store = getattr(self.backend, "cold_store", None)
+        backend_kv = self._backend_kv_gauge
+        cold_tokens = self._cold_tokens_gauge
+        cold_pages = self._cold_pages_gauge
+        cold_store = self.backend.cold_store if self._has_cold_store else None
         kv_in_use = self.scheduler.kv_tokens_in_use()
         return LiveGauges(
             clock_s=self.clock_s,
@@ -633,31 +646,40 @@ class ServingEngine:
         preempted: tuple[str, ...] = (),
         demoted: tuple[str, ...] = (),
     ) -> StepOutcome:
-        handles = [self._handles[s.request.request_id] for s in batch]
-        tokens = [
-            h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN for h in handles
-        ]
+        # One pass builds every per-request list the step needs; the emitted
+        # tuple is assembled alongside token recording below, so the batch is
+        # traversed twice in total instead of once per bookkeeping field.
+        handles = []
+        seq_ids = []
+        tokens = []
+        request_ids = []
+        for s in batch:
+            h = self._handles[s.request.request_id]
+            handles.append(h)
+            seq_ids.append(h.seq_id)
+            tokens.append(h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN)
+            request_ids.append(h.request_id)
         try:
-            result = self.backend.decode_batch([h.seq_id for h in handles], tokens)
+            result = self.backend.decode_batch(seq_ids, tokens)
         except DecodeOutOfPagesError as exc:
             return self._step_decode_oom(batch, preempted, demoted, exc)
         self.clock_s += result.elapsed_s
-        self.decision_log.append("decode:" + ",".join(h.request_id for h in handles))
+        self.decision_log.append("decode:" + ",".join(request_ids))
+        emitted = []
         for i, handle in enumerate(handles):
             logits = None if result.logits is None else result.logits[i]
             self._record_token(handle, logits)
+            emitted.append((request_ids[i], handle.output_tokens[-1]))
         finished = self._retire()
         return StepOutcome(
             kind="decode",
             clock_s=self.clock_s,
             elapsed_s=result.elapsed_s,
-            request_ids=tuple(h.request_id for h in handles),
+            request_ids=tuple(request_ids),
             finished_ids=finished,
             preempted_ids=preempted,
             demoted_ids=demoted,
-            emitted_tokens=tuple(
-                (h.request_id, h.output_tokens[-1]) for h in handles
-            ),
+            emitted_tokens=tuple(emitted),
         )
 
     def _step_decode_oom(
@@ -694,7 +716,7 @@ class ServingEngine:
         return np.full(request.prompt_tokens, PLACEHOLDER_TOKEN, dtype=np.int64)
 
     def _record_token(self, handle: RequestHandle, logits: np.ndarray | None) -> None:
-        params = handle.request.sampling or self.default_sampling
+        params = handle._params or self.default_sampling
         if logits is None:
             token = PLACEHOLDER_TOKEN
         else:
