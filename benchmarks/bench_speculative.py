@@ -1,0 +1,370 @@
+"""Speculative decoding benchmark: k x scenario sweep, byte-exact by contract.
+
+Two halves, one report:
+
+* **Latency cells** (virtual clock, gated): each scenario preset (``chat`` /
+  ``long_document_qa`` / ``mixed_agentic``) is served request-at-a-time —
+  the latency-bound regime speculation targets — through the
+  ``SimulatedBackend`` cost model, with a :class:`ModeledDraft` pinning the
+  per-token acceptance rate.  Cells sweep ``speculation_k`` x acceptance
+  rate and report the end-to-end decode speedup (non-speculative makespan /
+  speculative makespan) and the TPOT speedup.  The virtual clock is
+  deterministic for a given seed, so these ratios are machine-independent
+  and ``perf_gate.py`` enforces a floor: **speedup > 1 at acceptance 0.6**,
+  the ISSUE's acceptance bar.
+* **Verification cells** (real engine, gated flags): scenario-shaped seeded
+  traces decode through the real tiny-model ``LServeBackend`` with n-gram
+  and prerecorded draft sources, and every cell asserts the speculative
+  output is **byte-identical** to the non-speculative reference and that the
+  page pool drains to zero — rejected draft KV must vanish through the
+  ref-counted release path.  Wall-clock speedups ride along ungated (they
+  measure the runner, not the contract).
+
+A saturated-batching context row is also reported (ungated): with a full
+continuous batch, per-request verify chunks forfeit cross-request batch
+amortization, so speculation can *cost* throughput — the honest trade-off
+the latency cells sit on the other side of.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_speculative.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_speculative.py --smoke    # CI smoke
+
+The JSON report is written to ``benchmarks/results/BENCH_speculative.json``
+(override with ``--output``); ``benchmarks/perf_gate.py`` diffs the smoke
+report against the committed baseline in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.systems import lserve_policy
+from repro.core.config import LServeConfig
+from repro.core.engine import LServeEngine
+from repro.gpu.device import A100_80G
+from repro.gpu.simulator import LatencySimulator
+from repro.model.configs import LLAMA_3_8B, tiny_model_config
+from repro.model.transformer import TinyTransformer
+from repro.serving import (
+    LServeBackend,
+    ModeledDraft,
+    NGramDraft,
+    PrerecordedDraft,
+    Request,
+    SamplingParams,
+    SchedulerConfig,
+    ServingEngine,
+    SimulatedBackend,
+    WorkloadGenerator,
+    scenario,
+)
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_speculative.json"
+
+#: Per-scenario KV pool sizing (mirrors bench_serving_slo.py).
+SCENARIO_KV_CAPACITY = {
+    "chat": 16_384,
+    "long_document_qa": 196_608,
+    "mixed_agentic": 131_072,
+}
+
+SCENARIOS = ("chat", "long_document_qa", "mixed_agentic")
+
+
+# -- latency cells: virtual-clock speedup at pinned acceptance ---------------------
+
+
+def sim_engine(name: str, k: int, acceptance: float, seed: int, max_batch: int):
+    latency = LatencySimulator(LLAMA_3_8B, A100_80G, lserve_policy())
+    capacity = SCENARIO_KV_CAPACITY[name]
+    return ServingEngine(
+        SimulatedBackend(latency),
+        SchedulerConfig(
+            max_batch_size=max_batch,
+            kv_token_capacity=capacity,
+            kv_high_watermark=capacity - 256,
+            kv_low_watermark=int(0.75 * capacity),
+        ),
+        draft_source=ModeledDraft(acceptance=acceptance, seed=seed) if k else None,
+    )
+
+
+def sim_requests(name: str, n: int, seed: int, k: int) -> list[Request]:
+    """A seeded scenario trace, all-at-zero arrivals, opted into speculation."""
+    requests = WorkloadGenerator(scenario(name), seed=seed).generate(n)
+    return [
+        dataclasses.replace(
+            r, arrival_time_s=0.0, sampling=SamplingParams(speculation_k=k)
+        )
+        for r in requests
+    ]
+
+
+def run_latency_cell(name: str, k: int, acceptance: float, n: int, seed: int) -> dict:
+    """Request-at-a-time serving: speculation's target regime (gated)."""
+    baseline = sim_engine(name, 0, 0.0, seed, max_batch=1)
+    base_metrics = baseline.run(sim_requests(name, n, seed, 0))
+    engine = sim_engine(name, k, acceptance, seed, max_batch=1)
+    metrics = engine.run(sim_requests(name, n, seed, k))
+    assert metrics.total_generated_tokens() == base_metrics.total_generated_tokens()
+    observed = engine.draft_tokens_accepted / max(engine.draft_tokens_proposed, 1)
+    return {
+        "scenario": name,
+        "k": k,
+        "acceptance": acceptance,
+        "requests": n,
+        "decode_speedup": round(base_metrics.makespan_s() / metrics.makespan_s(), 3),
+        "tpot_speedup": round(
+            base_metrics.mean_time_per_output_token_s()
+            / metrics.mean_time_per_output_token_s(),
+            3,
+        ),
+        "observed_acceptance": round(observed, 3),
+        "effective_tokens_per_step": round(
+            metrics.mean_effective_tokens_per_step(), 3
+        ),
+    }
+
+
+def run_saturated_cell(name: str, k: int, acceptance: float, n: int, seed: int) -> dict:
+    """Full continuous batch: the amortization trade-off row (ungated)."""
+    baseline = sim_engine(name, 0, 0.0, seed, max_batch=8)
+    base_metrics = baseline.run(sim_requests(name, n, seed, 0))
+    engine = sim_engine(name, k, acceptance, seed, max_batch=8)
+    metrics = engine.run(sim_requests(name, n, seed, k))
+    return {
+        "scenario": name,
+        "k": k,
+        "acceptance": acceptance,
+        "max_batch_size": 8,
+        "makespan_speedup": round(
+            base_metrics.makespan_s() / metrics.makespan_s(), 3
+        ),
+    }
+
+
+# -- verification cells: real engine, byte-identity + zero-leak --------------------
+
+
+def make_backend(model) -> LServeBackend:
+    engine = LServeEngine(
+        model,
+        LServeConfig(
+            streaming_head_ratio=0.5,
+            dynamic_sparsity_enabled=True,
+            kv_bits=8,
+            physical_page_size=16,
+            logical_page_size=4,
+            sink_tokens=16,
+            local_tokens=32,
+            q_block_size=16,
+            token_budget=64,
+            reuse_interval=4,
+        ),
+        streaming_kv_heads=np.array([False, True]),
+        num_cache_pages=1024,
+    )
+    return LServeBackend(engine)
+
+
+def real_trace(name: str, model, n: int, max_new: int, seed: int, k: int):
+    """Scenario-*shaped* mini traces sized for the real tiny-model engine.
+
+    ``chat`` = short varied prompts; ``long_document_qa`` = one shared long
+    repetitive document plus a short per-request question (the n-gram
+    drafter's home turf); ``mixed_agentic`` = alternating short interactive
+    prompts and longer tool-loop prompts with repeated spans.
+    """
+    vocab = model.config.vocab_size
+    rng = np.random.default_rng(seed)
+    sampling = SamplingParams(speculation_k=k)
+    requests = []
+    document = [int(t) for t in (np.arange(96) * 7) % vocab]
+    for i in range(n):
+        if name == "chat":
+            prompt = [int(t) for t in rng.integers(0, vocab, size=24 + 8 * (i % 3))]
+        elif name == "long_document_qa":
+            question = [int(t) for t in rng.integers(0, vocab, size=8)]
+            prompt = document + question
+        else:  # mixed_agentic
+            if i % 2:
+                span = [int(t) for t in rng.integers(0, vocab, size=16)]
+                prompt = span * 3 + [int(t) for t in rng.integers(0, vocab, size=8)]
+            else:
+                prompt = [int(t) for t in rng.integers(0, vocab, size=32)]
+        requests.append(
+            Request.from_prompt(
+                f"{name}-r{i}",
+                prompt,
+                max_new_tokens=max_new,
+                sampling=sampling,
+                arrival_time_s=0.001 * i,
+            )
+        )
+    return requests
+
+
+def run_real(model, requests, draft=None):
+    backend = make_backend(model)
+    engine = ServingEngine(
+        backend, SchedulerConfig(max_batch_size=4), draft_source=draft
+    )
+    t0 = time.perf_counter()
+    engine.run(list(requests))
+    elapsed = time.perf_counter() - t0
+    outputs = {
+        r.request_id: list(engine.handle(r.request_id).output_tokens)
+        for r in requests
+    }
+    leaked = backend.engine.cache.dense_cache.allocator.num_allocated
+    return engine, outputs, elapsed, leaked
+
+
+def run_verification_cell(name: str, k: int, model, n: int, max_new: int, seed: int) -> dict:
+    """Real-engine cell: n-gram + prerecorded drafts vs. the plain reference."""
+    plain = [
+        dataclasses.replace(r, sampling=SamplingParams())
+        for r in real_trace(name, model, n, max_new, seed, k)
+    ]
+    _, reference, plain_s, leaked_ref = run_real(model, plain)
+
+    spec = real_trace(name, model, n, max_new, seed, k)
+    ngram_engine, ngram_out, ngram_s, leaked_ngram = run_real(
+        model, spec, draft=NGramDraft(max_ngram=3)
+    )
+    rec_engine, rec_out, rec_s, leaked_rec = run_real(
+        model, spec, draft=PrerecordedDraft(reference)
+    )
+
+    ngram_rate = ngram_engine.draft_tokens_accepted / max(
+        ngram_engine.draft_tokens_proposed, 1
+    )
+    return {
+        "scenario": name,
+        "k": k,
+        "requests": n,
+        "byte_identical": ngram_out == reference and rec_out == reference,
+        "leaked_pages": leaked_ref + leaked_ngram + leaked_rec,
+        "ngram_acceptance": round(ngram_rate, 3),
+        "prerecorded_acceptance": round(
+            rec_engine.draft_tokens_accepted
+            / max(rec_engine.draft_tokens_proposed, 1),
+            3,
+        ),
+        "ngram_wall_speedup": round(plain_s / ngram_s, 3),
+        "prerecorded_wall_speedup": round(plain_s / rec_s, 3),
+    }
+
+
+# -- report --------------------------------------------------------------------
+
+
+def format_table(rows: list[dict]) -> str:
+    """Fixed-width latency-sweep table for the console."""
+    header = (
+        f"{'scenario':>18} {'k':>3} {'accept':>7} {'decode x':>9} "
+        f"{'tpot x':>7} {'eff tok/step':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['scenario']:>18} {r['k']:>3} {r['acceptance']:>7.1f} "
+            f"{r['decode_speedup']:>9.3f} {r['tpot_speedup']:>7.3f} "
+            f"{r['effective_tokens_per_step']:>13.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Run the sweep, check the contracts, and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI-sized run (fewer cells, shorter traces)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="model/workload seed")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        ks, acceptances, n_sim = (4,), (0.6, 1.0), 6
+        real_n, real_max_new = 3, 16
+    else:
+        ks, acceptances, n_sim = (2, 4), (0.6, 0.8, 1.0), 8
+        real_n, real_max_new = 4, 24
+
+    latency_rows = [
+        run_latency_cell(name, k, acc, n_sim, args.seed)
+        for name in SCENARIOS
+        for acc in acceptances
+        for k in ks
+    ]
+    saturated_rows = [
+        run_saturated_cell("chat", 4, acc, n_sim, args.seed) for acc in (0.6, 1.0)
+    ]
+
+    model = TinyTransformer(tiny_model_config(), seed=11)
+    verification_rows = [
+        run_verification_cell(name, k, model, real_n, real_max_new, args.seed)
+        for name in SCENARIOS
+        for k in ks
+    ]
+
+    byte_identical_all = all(r["byte_identical"] for r in verification_rows)
+    zero_leaked = all(r["leaked_pages"] == 0 for r in verification_rows)
+    floor_rows = [r for r in latency_rows if r["acceptance"] >= 0.6]
+    speedup_at_06 = all(
+        r["decode_speedup"] > 1.0 and r["tpot_speedup"] > 1.0 for r in floor_rows
+    )
+
+    print(format_table(latency_rows))
+    print("\nsaturated-batch context (ungated):")
+    for r in saturated_rows:
+        print(
+            f"  {r['scenario']} k={r['k']} accept={r['acceptance']}: "
+            f"makespan x{r['makespan_speedup']:.3f} at batch {r['max_batch_size']}"
+        )
+    print("\nreal-engine verification:")
+    for r in verification_rows:
+        print(
+            f"  {r['scenario']} k={r['k']}: byte_identical={r['byte_identical']} "
+            f"ngram_acceptance={r['ngram_acceptance']:.2f} "
+            f"wall x{r['prerecorded_wall_speedup']:.2f} (prerecorded)"
+        )
+    print(
+        f"\nbyte-identity {'OK' if byte_identical_all else 'FAILED'}; "
+        f"zero-leak {'OK' if zero_leaked else 'FAILED'}; "
+        f"speedup at acceptance >= 0.6 "
+        f"{'OK' if speedup_at_06 else 'FAILED (perf_gate.py decides)'}"
+    )
+
+    report = {
+        "benchmark": "speculative",
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        "checks": {
+            "byte_identical_all": byte_identical_all,
+            "zero_leaked_pages": zero_leaked,
+            "speedup_at_acceptance_0_6": speedup_at_06,
+        },
+        "results": latency_rows,
+        "saturated": saturated_rows,
+        "verification": verification_rows,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[saved to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -99,6 +99,20 @@ RULES: dict[str, list[dict]] = {
         {"path": "results[*].tiered_preemptions", "mode": "rel",
          "worse": "higher", "tol": 0.25, "slack": 2},
     ],
+    "BENCH_speculative.json": [
+        {"path": "checks.byte_identical_all", "mode": "flag"},
+        {"path": "checks.zero_leaked_pages", "mode": "flag"},
+        {"path": "checks.speedup_at_acceptance_0_6", "mode": "flag"},
+        {"path": "verification[*].byte_identical", "mode": "flag"},
+        # Every gated latency cell runs at acceptance >= 0.6, so the ISSUE's
+        # "end-to-end decode speedup" bar is an absolute floor — the virtual
+        # clock makes the ratio machine-independent.
+        {"path": "results[*].decode_speedup", "mode": "min", "floor": 1.0},
+        {"path": "results[*].decode_speedup", "mode": "rel", "worse": "lower",
+         "tol": 0.05, "slack": 0.05},
+        {"path": "results[*].tpot_speedup", "mode": "rel", "worse": "lower",
+         "tol": 0.05, "slack": 0.05},
+    ],
 }
 # fmt: on
 

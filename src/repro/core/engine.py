@@ -43,7 +43,12 @@ from repro.model.transformer import TinyTransformer, rms_norm, silu
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving wraps the engine)
     from repro.serving.sampling import SamplingParams
 
-__all__ = ["DecodeOutOfPagesError", "EngineStats", "LServeEngine"]
+__all__ = [
+    "DecodeOutOfPagesError",
+    "EngineStats",
+    "LServeEngine",
+    "SpeculativeChunk",
+]
 
 
 class DecodeOutOfPagesError(OutOfPagesError):
@@ -99,6 +104,33 @@ class EngineStats:
         if self.dense_tokens_total == 0:
             return 1.0
         return self.dense_tokens_attended / self.dense_tokens_total
+
+
+@dataclass
+class SpeculativeChunk:
+    """Verified-but-uncommitted KV of one speculative decode chunk.
+
+    Produced by :meth:`LServeEngine.decode_speculative`, consumed by
+    :meth:`LServeEngine.commit_speculative`.  Holds, per layer, the post-RoPE
+    raw keys/values ``(m, n_kv_heads, head_dim)`` and queries
+    ``(m, n_heads, head_dim)`` of the ``m`` chunk positions, so the accepted
+    prefix can be re-appended to the real sequence bit-exactly (KV
+    quantization groups are per token × head, and key-statistic folds take
+    exact min/max of raw keys — re-appending a saved row writes the same
+    bits the scratch verification wrote).  The queries replay the selector
+    phase at commit time.  ``base_len`` guards against committing onto a
+    sequence that moved since verification.
+    """
+
+    seq_id: object
+    base_len: int
+    tokens: np.ndarray
+    k_per_layer: list[np.ndarray]
+    v_per_layer: list[np.ndarray]
+    q_per_layer: list[np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.tokens.size)
 
 
 def _rowwise_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -541,6 +573,172 @@ class LServeEngine:
         hidden = rms_norm(hidden, weights.final_norm)
         self.stats.decode_steps += batch
         return _rowwise_matmul(hidden, weights.lm_head)
+
+    # -- speculative decoding ------------------------------------------------------
+    def decode_speculative(
+        self, seq_id: object, token_ids: list[int] | np.ndarray
+    ) -> tuple[np.ndarray, SpeculativeChunk]:
+        """Verify a chunk of ``m`` candidate tokens in one forward pass.
+
+        ``token_ids`` is the pending token followed by draft proposals.  The
+        whole chunk runs on a copy-on-write **scratch fork** of ``seq_id``:
+        the embedding/QKV/output/FFN projections are batched GEMMs over all
+        ``m`` rows (the speculation speedup — the same amortization
+        :meth:`decode_batch` exploits across sequences), while attention runs
+        per position in cache order — append position ``j``'s KV to the
+        scratch, then attend with exactly positions ``0..j`` visible.  Row
+        ``j`` of the returned logits ``(m, vocab)`` is therefore **bitwise
+        identical** to the logits sequential :meth:`decode` calls would have
+        produced after consuming ``token_ids[:j+1]``: per-row ops are
+        row-local, :func:`_rowwise_matmul` rows are batch-size independent,
+        and the scratch starts with the parent's pages, streaming rings, and
+        cached page selections (same reuse phase).
+
+        The scratch is released before returning — rejected draft KV never
+        touches the real sequence; rollback *is* the scratch release through
+        the allocator's ref-counted decref path, so the pool cannot leak.
+        The real sequence is untouched; call :meth:`commit_speculative` with
+        the accepted prefix length to advance it.  An exhausted pool raises
+        :class:`DecodeOutOfPagesError` with the scratch already released.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64).ravel()
+        m = int(token_ids.size)
+        if m == 0:
+            raise ValueError("decode_speculative requires at least one token")
+        base = self.cache.seq_len(seq_id)
+        if base == 0:
+            raise ValueError(
+                f"decode requires a prefilled sequence, got {seq_id!r}"
+            )
+        scratch = ("__speculative__", seq_id)
+        if self.cache.has_sequence(scratch):
+            raise ValueError(f"speculative scratch for {seq_id!r} already active")
+
+        self.cache.fork_sequence(seq_id, scratch)
+        self.selector.clone_sequence(seq_id, scratch)
+        try:
+            try:
+                self._reserve_pages(scratch, m)
+            except OutOfPagesError:
+                dense = self.cache.dense_cache
+                num_free = dense.allocator.num_free if dense is not None else 0
+                raise DecodeOutOfPagesError([seq_id], num_free) from None
+
+            cfg = self.model.config
+            weights = self.model.weights
+            positions = np.arange(base, base + m)
+            k_per_layer: list[np.ndarray] = []
+            v_per_layer: list[np.ndarray] = []
+            q_per_layer: list[np.ndarray] = []
+
+            hidden = weights.embedding[token_ids]  # (m, hidden)
+            for layer_idx, layer in enumerate(weights.layers):
+                attn_in = rms_norm(hidden, layer.attn_norm)
+                q = _rowwise_matmul(attn_in, layer.wq).reshape(m, cfg.n_heads, cfg.head_dim)
+                k = _rowwise_matmul(attn_in, layer.wk).reshape(m, cfg.n_kv_heads, cfg.head_dim)
+                v = _rowwise_matmul(attn_in, layer.wv).reshape(m, cfg.n_kv_heads, cfg.head_dim)
+                q = apply_rope(q, positions, self.model.rope)
+                k = apply_rope(k, positions, self.model.rope)
+                k_per_layer.append(k)
+                v_per_layer.append(v)
+                q_per_layer.append(q)
+                attn_out = np.empty((m, cfg.n_heads, cfg.head_dim))
+                for j in range(m):
+                    self.cache.append_batch([scratch], layer_idx, k[j : j + 1], v[j : j + 1])
+                    attn_out[j] = self._decode_attention_batch(
+                        [scratch],
+                        layer_idx,
+                        q[j : j + 1],
+                        np.array([base + j + 1], dtype=np.int64),
+                    )[0]
+                hidden = hidden + _rowwise_matmul(
+                    attn_out.reshape(m, cfg.hidden_size), layer.wo
+                )
+                ffn_in = rms_norm(hidden, layer.ffn_norm)
+                gate = silu(_rowwise_matmul(ffn_in, layer.w_gate)) * _rowwise_matmul(
+                    ffn_in, layer.w_up
+                )
+                hidden = hidden + _rowwise_matmul(gate, layer.w_down)
+
+            hidden = rms_norm(hidden, weights.final_norm)
+            logits = _rowwise_matmul(hidden, weights.lm_head)
+        finally:
+            # Rollback of every unverified/rejected draft token: release the
+            # scratch through the ref-counted decref path (shared pages
+            # survive on the parent, CoW'd/grown pages return to the pool).
+            self.release(scratch)
+        self.stats.decode_steps += m
+        chunk = SpeculativeChunk(
+            seq_id=seq_id,
+            base_len=base,
+            tokens=token_ids,
+            k_per_layer=k_per_layer,
+            v_per_layer=v_per_layer,
+            q_per_layer=q_per_layer,
+        )
+        return logits, chunk
+
+    def commit_speculative(
+        self, seq_id: object, chunk: SpeculativeChunk, n_commit: int
+    ) -> None:
+        """Append the accepted prefix of a verified chunk to the real sequence.
+
+        Re-appends the first ``n_commit`` saved post-RoPE K/V rows (bit-exact
+        — see :class:`SpeculativeChunk`) and replays the per-position dense
+        selector phase with the saved queries, so a later decode step sees
+        the same cached selections, with the same reuse phase, as a run that
+        decoded these tokens one at a time.  Pages are reserved atomically up
+        front: an exhausted pool raises :class:`DecodeOutOfPagesError` before
+        any KV is written, leaving the sequence exactly at ``base_len``.
+        """
+        if chunk.seq_id != seq_id:
+            raise ValueError(
+                f"chunk belongs to sequence {chunk.seq_id!r}, not {seq_id!r}"
+            )
+        if self.cache.seq_len(seq_id) != chunk.base_len:
+            raise ValueError(
+                f"sequence {seq_id!r} moved since verification "
+                f"(length {self.cache.seq_len(seq_id)} != chunk base {chunk.base_len})"
+            )
+        if not 1 <= n_commit <= len(chunk):
+            raise ValueError(
+                f"n_commit must be in [1, {len(chunk)}], got {n_commit}"
+            )
+        try:
+            self._reserve_pages(seq_id, n_commit)
+        except OutOfPagesError:
+            dense = self.cache.dense_cache
+            num_free = dense.allocator.num_free if dense is not None else 0
+            raise DecodeOutOfPagesError([seq_id], num_free) from None
+
+        cfg = self.model.config
+        group = cfg.gqa_group_size
+        dense_cache = self.cache.dense_cache
+        dq_idx = self._dense_query_heads
+        for layer_idx in range(cfg.n_layers):
+            k = chunk.k_per_layer[layer_idx]
+            v = chunk.v_per_layer[layer_idx]
+            q = chunk.q_per_layer[layer_idx]
+            for j in range(n_commit):
+                # Interleave append and selector replay per position: the
+                # selection at context c must fold key stats of positions
+                # 0..c-1 only — appending the whole prefix first would leak
+                # future keys into earlier selections.
+                self.cache.append_batch([seq_id], layer_idx, k[j : j + 1], v[j : j + 1])
+                context = chunk.base_len + j + 1
+                if self._dense_kv_heads.size and self.config.dynamic_sparsity_active(
+                    context
+                ):
+                    assert dense_cache is not None
+                    key = (seq_id, layer_idx)
+                    selection = self.selector.lookup(
+                        key, dense_cache.num_logical_pages(seq_id, layer_idx)
+                    )
+                    if selection is None:
+                        kmin, kmax = self.cache.dense_key_stats(seq_id, layer_idx)
+                        self.selector.select(
+                            key, q[j, dq_idx, :], kmin, kmax, gqa_group_size=group
+                        )
 
     def generate(
         self,

@@ -208,6 +208,32 @@ class ReusablePageSelector:
             )
             self._index_key(key)
 
+    def clone_sequence(self, src_seq: object, dst_seq: object) -> None:
+        """Copy ``src_seq``'s cached selections onto ``dst_seq``'s cache keys.
+
+        Speculative verification runs a sequence's chunk on a copy-on-write
+        *scratch* fork; the scratch must start with the parent's cached
+        selections **and reuse phase**, or its first dense-head query would
+        recompute a selection the non-speculative run would have reused —
+        shifting the reuse-interval boundaries and changing the logits.
+        Engine keys ``(src_seq, layer)`` are remapped to ``(dst_seq, layer)``;
+        bare ``src_seq`` keys map to bare ``dst_seq``.  Each clone is a
+        private :class:`_CacheEntry`, so queries served by the scratch never
+        advance the parent's phase.
+        """
+        for key in self._seq_keys.get(src_seq, ()):
+            entry = self._cache.get(key)
+            if entry is None:
+                continue
+            if isinstance(key, tuple) and len(key) > 0:
+                new_key: object = (dst_seq, *key[1:])
+            else:
+                new_key = dst_seq
+            self._cache[new_key] = _CacheEntry(
+                selection=entry.selection, queries_served=entry.queries_served
+            )
+            self._index_key(new_key)
+
     def lookup(self, key: object, n_logical_pages: int) -> PageSelection | None:
         """Serve a cached selection without touching the key statistics.
 

@@ -38,6 +38,17 @@ latency / throughput / SLO attainment are reported through the same
 :class:`~repro.serving.metrics.ServingMetrics` records for every backend and
 policy.
 
+**Speculative decoding** (:mod:`repro.serving.speculative`) rides on the same
+front door: attach a :class:`~repro.serving.speculative.DraftSource` to the
+engine and opt requests in with ``SamplingParams.speculation_k`` — each decode
+step then verifies up to ``k`` drafted tokens in one amortized chunk
+(:meth:`~repro.core.engine.LServeEngine.decode_speculative` on a copy-on-write
+scratch fork), accepts the longest byte-exact prefix, and rolls rejected draft
+KV back through the ref-counted release path.  Outputs are byte-identical to a
+non-speculative run at any acceptance rate; acceptance rate and effective
+tokens per step surface through :class:`~repro.serving.metrics.LiveGauges`,
+per-request records, and Prometheus.  See ``docs/speculative.md``.
+
 On top of the synchronous front door sits the **async serving layer**
 (:mod:`repro.serving.frontend`): :class:`~repro.serving.frontend.AsyncServingEngine`
 drives the step loop from a background asyncio task, accepts live submissions
@@ -69,6 +80,7 @@ from repro.serving.backend import (
     KVHandoff,
     LServeBackend,
     SimulatedBackend,
+    SpecStepResult,
     StepResult,
 )
 from repro.serving.client import CompletionClient, CompletionResult, replay_trace
@@ -103,6 +115,13 @@ from repro.serving.http import CompletionServer
 from repro.serving.metrics import LiveGauges, RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
 from repro.serving.sampling import SamplingParams, sample_token
+from repro.serving.speculative import (
+    CheapEngineDraft,
+    DraftSource,
+    ModeledDraft,
+    NGramDraft,
+    PrerecordedDraft,
+)
 from repro.serving.scheduler import (
     POLICIES,
     ContinuousBatchingScheduler,
@@ -129,6 +148,12 @@ __all__ = [
     "LServeBackend",
     "SimulatedBackend",
     "StepResult",
+    "SpecStepResult",
+    "DraftSource",
+    "NGramDraft",
+    "CheapEngineDraft",
+    "ModeledDraft",
+    "PrerecordedDraft",
     "KVTieringConfig",
     "ColdTierStore",
     "ColdTierError",

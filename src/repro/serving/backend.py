@@ -38,6 +38,7 @@ from repro.kvcache.tiering import (
 
 __all__ = [
     "StepResult",
+    "SpecStepResult",
     "BackendWork",
     "InferenceBackend",
     "KVHandoff",
@@ -108,6 +109,25 @@ class StepResult:
     restore_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class SpecStepResult:
+    """Outcome of one speculative verification chunk.
+
+    ``logits`` holds one next-token distribution per chunk position —
+    ``(m, vocab_size)``, where row ``j`` is the distribution after consuming
+    the chunk's first ``j + 1`` tokens — or ``None`` for content-free
+    backends.  ``elapsed_s`` is the chunk's billed time (one amortized
+    forward over ``m`` positions, not ``m`` sequential steps — that gap *is*
+    the speculation speedup).  ``chunk`` is the backend-private verified
+    state to pass to ``commit_speculative``; nothing has been committed to
+    the real sequence yet.
+    """
+
+    logits: np.ndarray | None
+    elapsed_s: float
+    chunk: object
+
+
 @dataclass
 class BackendWork:
     """Uniform work/latency accounting every backend maintains."""
@@ -121,6 +141,9 @@ class BackendWork:
     #: Prompt tokens served from a shared prefix (not counted in
     #: ``prefill_tokens``, which tracks *computed* prefill work).
     prefix_hit_tokens: int = 0
+    #: Speculative verification chunks run (each counted in
+    #: ``decode_iterations`` too, with its positions in ``decode_tokens``).
+    spec_chunks: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -173,6 +196,15 @@ class InferenceBackend(Protocol):
     (install a migrated sequence; an existing ``seq_id`` raises
     ``ValueError``).  Neither hook bills time — the cluster layer charges the
     modeled transfer latency on the receiving replica's clock.
+
+    Backends that support speculative decoding expose
+    ``decode_speculative(seq_id, token_ids) -> SpecStepResult`` (verify a
+    chunk of candidate tokens in one amortized forward pass, without
+    committing anything) and ``commit_speculative(seq_id, chunk, n_commit)``
+    (append the accepted prefix; must leave the sequence bit-identical to
+    having decoded those tokens one at a time).  Both raise
+    :class:`~repro.core.engine.DecodeOutOfPagesError` cleanly — the real
+    sequence is never left half-advanced.
     """
 
     work: BackendWork
@@ -293,6 +325,38 @@ class SimulatedBackend:
             self._attend[seq_id] = self._attend_clock
         self.work.record_decode(len(seq_ids), elapsed)
         return StepResult(logits=None, elapsed_s=elapsed)
+
+    def decode_speculative(
+        self, seq_id: object, token_ids: list[int] | np.ndarray
+    ) -> SpecStepResult:
+        """Bill one amortized verification chunk of ``m`` candidate positions.
+
+        The chunk is billed like a decode iteration of batch ``m`` at the
+        sequence's current context — one weight pass amortized over the
+        chunk, which is exactly the cost structure that makes speculation a
+        decode-latency win.  No modelled state advances until
+        :meth:`commit_speculative`.
+        """
+        if seq_id not in self._context:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        m = int(np.asarray(token_ids).size)
+        if m == 0:
+            raise ValueError("decode_speculative requires at least one token")
+        context = self._context[seq_id]
+        elapsed = self.latency.decode_step_latency(context, batch=m)
+        self._attend_clock += 1
+        self._attend[seq_id] = self._attend_clock
+        self.work.record_decode(m, elapsed)
+        self.work.spec_chunks += 1
+        return SpecStepResult(logits=None, elapsed_s=elapsed, chunk=m)
+
+    def commit_speculative(self, seq_id: object, chunk: object, n_commit: int) -> None:
+        """Advance the modelled context by the accepted prefix length."""
+        if seq_id not in self._context:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        if not 1 <= int(n_commit) <= int(chunk):
+            raise ValueError(f"n_commit must be in [1, {chunk}], got {n_commit}")
+        self._context[seq_id] += int(n_commit)
 
     def kv_tokens_in_use(self) -> int:
         """Modelled KV tokens across all live sequences (live-gauge support)."""
@@ -531,6 +595,39 @@ class LServeBackend:
         )
         self.work.record_decode(len(seq_ids), elapsed)
         return StepResult(logits=logits, elapsed_s=elapsed)
+
+    def decode_speculative(
+        self, seq_id: object, token_ids: list[int] | np.ndarray
+    ) -> SpecStepResult:
+        """Verify a candidate chunk through the real engine's scratch fork.
+
+        Returns per-position logits bit-identical to sequential decode (see
+        :meth:`~repro.core.engine.LServeEngine.decode_speculative`).  Billed
+        as one decode iteration of batch ``m`` at the pre-chunk context when
+        the cost model is attached (the chunk's GEMMs are amortized exactly
+        like a batched decode), measured wall-clock otherwise.
+        """
+        context = self.engine.context_length(seq_id)
+        m = int(np.asarray(token_ids).size)
+        wall_start = time.perf_counter()
+        logits, chunk = self.engine.decode_speculative(seq_id, token_ids)
+        wall = time.perf_counter() - wall_start
+        elapsed = (
+            self.latency.decode_step_latency(context, batch=m)
+            if self.latency is not None
+            else wall
+        )
+        self.work.record_decode(m, elapsed)
+        self.work.spec_chunks += 1
+        return SpecStepResult(logits=logits, elapsed_s=elapsed, chunk=chunk)
+
+    def commit_speculative(self, seq_id: object, chunk: object, n_commit: int) -> None:
+        """Append the accepted prefix to the real sequence (bit-exact replay).
+
+        Commit is bookkeeping (saved-row appends + selector replay), not a
+        forward pass — no time is billed, matching the hand-off hooks.
+        """
+        self.engine.commit_speculative(seq_id, chunk, n_commit)
 
     def kv_tokens_in_use(self) -> int:
         """KV tokens the engine holds across live sequences (live-gauge support)."""

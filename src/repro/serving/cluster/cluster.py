@@ -196,6 +196,13 @@ class ServingCluster:
     ``routing`` is a registry name (``"round_robin"`` / ``"least_kv"`` /
     ``"prefix_affinity"``) or a :class:`RoutingPolicy` instance.
     ``scheduler_config`` and ``default_sampling`` apply to every replica.
+    ``draft_sources`` optionally attaches one
+    :class:`~repro.serving.speculative.DraftSource` **per replica** (draft
+    sources may hold per-request state, so replicas must not share one);
+    requests opting in via ``SamplingParams.speculation_k`` then decode
+    speculatively, and — because verification is byte-exact and draft
+    sources are deterministic — a resubmission after replica failure
+    replays identically on the surviving replica.
 
     Use as an async context manager (``async with ServingCluster(...)``), or
     call :meth:`start` / :meth:`shutdown` yourself.  Like the single-engine
@@ -211,10 +218,18 @@ class ServingCluster:
         default_sampling: SamplingParams | None = None,
         replica_ids: list[str] | None = None,
         replica_roles: list[str] | None = None,
+        draft_sources: list[object | None] | None = None,
     ) -> None:
         backends = list(backends)
         if not backends:
             raise ValueError("a cluster needs at least one backend replica")
+        if draft_sources is None:
+            draft_sources = [None] * len(backends)
+        draft_sources = list(draft_sources)
+        if len(draft_sources) != len(backends):
+            raise ValueError(
+                f"{len(draft_sources)} draft_sources for {len(backends)} backends"
+            )
         if replica_ids is None:
             replica_ids = [f"replica-{i}" for i in range(len(backends))]
         if len(replica_ids) != len(backends):
@@ -240,10 +255,14 @@ class ServingCluster:
         self._replicas = [
             Replica(
                 rid,
-                AsyncServingEngine(backend, scheduler_config, default_sampling),
+                AsyncServingEngine(
+                    backend, scheduler_config, default_sampling, draft_source=draft
+                ),
                 role=role,
             )
-            for rid, backend, role in zip(replica_ids, backends, replica_roles)
+            for rid, backend, role, draft in zip(
+                replica_ids, backends, replica_roles, draft_sources
+            )
         ]
         self._handles: dict[str, ClusterRequestHandle] = {}
         self._pumps: set[asyncio.Task] = set()
@@ -259,11 +278,14 @@ class ServingCluster:
         scheduler_config: SchedulerConfig | None = None,
         routing: str | RoutingPolicy = "round_robin",
         default_sampling: SamplingParams | None = None,
+        draft_source_factory=None,
     ) -> "ServingCluster":
         """Construct a cluster of ``n_replicas`` backends from a factory.
 
         ``backend_factory()`` is called once per replica so every replica
-        gets its own KV state.
+        gets its own KV state; ``draft_source_factory()`` (optional) is
+        likewise called once per replica so stateful draft sources are
+        never shared.
         """
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
@@ -272,6 +294,11 @@ class ServingCluster:
             scheduler_config,
             routing,
             default_sampling,
+            draft_sources=(
+                None
+                if draft_source_factory is None
+                else [draft_source_factory() for _ in range(n_replicas)]
+            ),
         )
 
     # -- topology ----------------------------------------------------------------

@@ -79,6 +79,12 @@ class DisaggregatedCluster:
     instance.  ``transfer_model`` prices each migration;
     ``scheduler_config`` applies to both tiers unless a tier-specific
     ``prefill_scheduler_config`` / ``decode_scheduler_config`` overrides it.
+    ``decode_draft_sources`` optionally attaches one
+    :class:`~repro.serving.speculative.DraftSource` per **decode** replica
+    (prefill replicas finish at the first token, so speculation only ever
+    runs on the decode tier); byte-exact verification plus deterministic
+    draft sources keep pipeline restarts after a replica failure
+    byte-identical.
 
     The surface mirrors :class:`~repro.serving.cluster.ServingCluster`:
     ``submit`` / ``replay`` / ``drain`` / ``shutdown`` / ``metrics`` /
@@ -104,6 +110,7 @@ class DisaggregatedCluster:
         default_sampling: SamplingParams | None = None,
         prefill_ids: list[str] | None = None,
         decode_ids: list[str] | None = None,
+        decode_draft_sources: list[object | None] | None = None,
     ) -> None:
         prefill_backends = list(prefill_backends)
         decode_backends = list(decode_backends)
@@ -126,6 +133,14 @@ class DisaggregatedCluster:
         ids = prefill_ids + decode_ids
         if len(set(ids)) != len(ids):
             raise ValueError("replica ids must be unique across both tiers")
+        if decode_draft_sources is None:
+            decode_draft_sources = [None] * len(decode_backends)
+        decode_draft_sources = list(decode_draft_sources)
+        if len(decode_draft_sources) != len(decode_backends):
+            raise ValueError(
+                f"{len(decode_draft_sources)} decode_draft_sources for "
+                f"{len(decode_backends)} decode backends"
+            )
         self.transfer_model = transfer_model or TransferCostModel()
         self.prefill_routing = (
             prefill_routing
@@ -156,10 +171,13 @@ class DisaggregatedCluster:
                     backend,
                     decode_scheduler_config or scheduler_config,
                     default_sampling,
+                    draft_source=draft,
                 ),
                 role="decode",
             )
-            for rid, backend in zip(decode_ids, decode_backends)
+            for rid, backend, draft in zip(
+                decode_ids, decode_backends, decode_draft_sources
+            )
         ]
         self._handles: dict[str, ClusterRequestHandle] = {}
         self._pumps: set[asyncio.Task] = set()

@@ -199,6 +199,9 @@ def merge_live_gauges(gauges: list[LiveGauges]) -> LiveGauges:
         cold_pages=sum(g.cold_pages for g in gauges),
         demotions=sum(g.demotions for g in gauges),
         restores=sum(g.restores for g in gauges),
+        draft_tokens_proposed=sum(g.draft_tokens_proposed for g in gauges),
+        draft_tokens_accepted=sum(g.draft_tokens_accepted for g in gauges),
+        spec_decode_steps=sum(g.spec_decode_steps for g in gauges),
     )
 
 

@@ -57,6 +57,9 @@ class RequestHandle:
     (:meth:`ServingEngine.retain_kv_on_finish`).  ``restored_pages`` /
     ``restore_ms`` accumulate the request's cold-KV-tier restore traffic
     (sequence restores plus cold prefix pages re-attached at prefill).
+    ``draft_tokens_proposed`` / ``draft_tokens_accepted`` /
+    ``spec_decode_steps`` accumulate the request's speculative-decoding
+    activity (all zero without a draft source).
     """
 
     request: Request
@@ -68,6 +71,9 @@ class RequestHandle:
     retain_kv: bool = False
     restored_pages: int = 0
     restore_ms: float = 0.0
+    draft_tokens_proposed: int = 0
+    draft_tokens_accepted: int = 0
+    spec_decode_steps: int = 0
     _rng: np.random.Generator | None = None
     #: Resolved sampling parameters (request override or engine default),
     #: computed once at submission so the per-token decode loop never
@@ -112,10 +118,16 @@ class StepOutcome:
 
     ``emitted_tokens`` reports every token the step produced, in order, as
     ``(request_id, token_id)`` pairs — one pair for a prefill (the first
-    token), one per batch member for a decode, none for resume/idle steps
-    (recompute replays previously emitted tokens; it never re-emits them).
-    This is what streaming front ends consume: each step's emissions can be
-    delivered to per-request streams the moment the step returns.
+    token), one *or more* per batch member for a decode (a speculative
+    request emits its verified token plus every accepted draft), none for
+    resume/idle steps (recompute replays previously emitted tokens; it never
+    re-emits them).  This is what streaming front ends consume: each step's
+    emissions can be delivered to per-request streams the moment the step
+    returns.
+
+    ``draft_proposed`` / ``draft_accepted`` count the step's speculative
+    draft tokens (both 0 on non-speculative steps) — the per-step acceptance
+    bookkeeping behind the engine's lifetime gauges.
     """
 
     kind: str  # "prefill" | "resume" | "restore" | "decode" | "attach" | "idle"
@@ -126,6 +138,8 @@ class StepOutcome:
     preempted_ids: tuple[str, ...] = ()
     demoted_ids: tuple[str, ...] = ()
     emitted_tokens: tuple[tuple[str, int], ...] = ()
+    draft_proposed: int = 0
+    draft_accepted: int = 0
 
 
 class ServingEngine:
@@ -136,10 +150,26 @@ class ServingEngine:
         backend: InferenceBackend,
         scheduler_config: SchedulerConfig | None = None,
         default_sampling: SamplingParams | None = None,
+        draft_source=None,
     ) -> None:
+        """``draft_source`` enables speculative decoding.
+
+        Any :class:`~repro.serving.speculative.DraftSource`; requests opt in
+        per-request via ``SamplingParams.speculation_k > 0``.  Speculation
+        needs a backend exposing ``decode_speculative`` /
+        ``commit_speculative`` — without them the draft source is ignored
+        and every request decodes plainly.
+        """
         self.backend = backend
         self.scheduler = ContinuousBatchingScheduler(scheduler_config or SchedulerConfig())
         self.default_sampling = default_sampling or SamplingParams()
+        self.draft_source = draft_source
+        #: Lifetime speculative-decoding counters (live-gauge support).
+        self.draft_tokens_proposed = 0
+        self.draft_tokens_accepted = 0
+        self.spec_decode_steps = 0
+        self._backend_spec = getattr(backend, "decode_speculative", None)
+        self._backend_commit = getattr(backend, "commit_speculative", None)
         self.clock_s = 0.0
         self.metrics = ServingMetrics()
         #: Scheduler decision trace ("prefill:<id>" / "resume:<id>" /
@@ -316,6 +346,7 @@ class ServingEngine:
             self.backend.release(handle.seq_id)
         state.mark_cancelled(self.clock_s)
         self.aborted_ids.append(request_id)
+        self._release_draft(request_id)
         self.decision_log.append(f"abort:{request_id}")
         return True
 
@@ -344,6 +375,9 @@ class ServingEngine:
             cold_pages=cold_pages() if cold_pages is not None else 0,
             demotions=self.scheduler.total_demotions,
             restores=cold_store.total_restores if cold_store is not None else 0,
+            draft_tokens_proposed=self.draft_tokens_proposed,
+            draft_tokens_accepted=self.draft_tokens_accepted,
+            spec_decode_steps=self.spec_decode_steps,
         )
 
     # -- the serving loop ---------------------------------------------------------
@@ -640,46 +674,189 @@ class ServingEngine:
         )
         return self._evict_states(victims)
 
+    def _drafts_for(self, handle: RequestHandle) -> list[int]:
+        """Candidate tokens to speculate for one decode-batch member (may be [])."""
+        if (
+            self.draft_source is None
+            or self._backend_spec is None
+            or self._backend_commit is None
+        ):
+            return []
+        params = handle._params or self.default_sampling
+        if params.speculation_k <= 0 or not handle.output_tokens:
+            return []
+        # Keep at least one position for the verified token itself: the
+        # pending token plus k drafts emit at most k + 1 tokens.
+        remaining = handle.request.max_new_tokens - handle.state.generated_tokens
+        k = min(params.speculation_k, remaining - 1)
+        if k <= 0:
+            return []
+        drafts = self.draft_source.propose(
+            handle.request_id,
+            handle.request.prompt_token_ids,
+            handle.output_tokens,
+            k,
+        )
+        return [int(t) for t in drafts[:k]]
+
+    def _verify_tokens(
+        self,
+        handle: RequestHandle,
+        fed: list[int],
+        logits_rows: np.ndarray | None,
+    ) -> list[int]:
+        """Accept the longest matching prefix of a verified chunk.
+
+        Row ``j`` of ``logits_rows`` is the real next-token distribution
+        after consuming ``fed[:j+1]``; sampling it with the request's own
+        rng draws exactly the draw a non-speculative step would have made,
+        so the emitted stream — and the rng stream — are byte-identical at
+        any acceptance rate.  Verification advances to row ``j+1`` only
+        while the sampled token equals the draft that was fed there.
+        """
+        params = handle._params or self.default_sampling
+        budget = handle.request.max_new_tokens - handle.state.generated_tokens
+        sampled: list[int] = []
+        for j in range(len(fed)):
+            if logits_rows is None:
+                token = PLACEHOLDER_TOKEN
+            else:
+                token = sample_token(logits_rows[j], params, handle._rng)
+            sampled.append(token)
+            if len(sampled) >= budget:
+                break
+            if logits_rows is not None and params.is_stop(token):
+                break
+            if j + 1 >= len(fed) or fed[j + 1] != token:
+                break
+        return sampled
+
+    def _evict_one_for_oom(
+        self, state: RequestState
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Evict one request the allocator refused pages for; (preempted, demoted)."""
+        self.scheduler.force_preempt([state], demote=self._tiering_active)
+        return self._evict_states([state])
+
     def _step_decode(
         self,
         batch: list[RequestState],
         preempted: tuple[str, ...] = (),
         demoted: tuple[str, ...] = (),
     ) -> StepOutcome:
-        # One pass builds every per-request list the step needs; the emitted
-        # tuple is assembled alongside token recording below, so the batch is
-        # traversed twice in total instead of once per bookkeeping field.
-        handles = []
-        seq_ids = []
-        tokens = []
-        request_ids = []
+        # Partition the batch: members with draft proposals run speculative
+        # verify chunks, the rest run the plain batched decode.  The plain
+        # group goes FIRST — its OOM handler retries the *whole* batch
+        # recursively, which is only safe while no speculative chunk has
+        # advanced any sequence or rng this step.
+        plain: list[RequestState] = []
+        spec: list[tuple[RequestState, list[int]]] = []
         for s in batch:
-            h = self._handles[s.request.request_id]
-            handles.append(h)
-            seq_ids.append(h.seq_id)
-            tokens.append(h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN)
-            request_ids.append(h.request_id)
-        try:
-            result = self.backend.decode_batch(seq_ids, tokens)
-        except DecodeOutOfPagesError as exc:
-            return self._step_decode_oom(batch, preempted, demoted, exc)
-        self.clock_s += result.elapsed_s
-        self.decision_log.append("decode:" + ",".join(request_ids))
-        emitted = []
-        for i, handle in enumerate(handles):
-            logits = None if result.logits is None else result.logits[i]
-            self._record_token(handle, logits)
-            emitted.append((request_ids[i], handle.output_tokens[-1]))
+            drafts = self._drafts_for(self._handles[s.request.request_id])
+            if drafts:
+                spec.append((s, drafts))
+            else:
+                plain.append(s)
+
+        elapsed = 0.0
+        emitted: list[tuple[str, int]] = []
+        request_ids: list[str] = []
+        step_proposed = 0
+        step_accepted = 0
+
+        if plain:
+            handles = []
+            seq_ids = []
+            tokens = []
+            for s in plain:
+                h = self._handles[s.request.request_id]
+                handles.append(h)
+                seq_ids.append(h.seq_id)
+                tokens.append(h.output_tokens[-1] if h.output_tokens else PLACEHOLDER_TOKEN)
+            try:
+                result = self.backend.decode_batch(seq_ids, tokens)
+            except DecodeOutOfPagesError as exc:
+                return self._step_decode_oom(batch, preempted, demoted, exc)
+            self.clock_s += result.elapsed_s
+            elapsed += result.elapsed_s
+            for i, handle in enumerate(handles):
+                logits = None if result.logits is None else result.logits[i]
+                self._record_token(handle, logits)
+                emitted.append((handle.request_id, handle.output_tokens[-1]))
+                request_ids.append(handle.request_id)
+
+        for s, drafts in spec:
+            handle = self._handles[s.request.request_id]
+            pending = handle.output_tokens[-1]
+            fed = [pending, *drafts]
+            try:
+                spec_result = self._backend_spec(handle.seq_id, fed)
+            except DecodeOutOfPagesError:
+                # The chunk did not fit (scratch fork + m positions).  The
+                # sequence is untouched, so a plain single-token step keeps
+                # byte-identity and forward progress at minimal footprint.
+                try:
+                    fallback = self.backend.decode_batch([handle.seq_id], [pending])
+                except DecodeOutOfPagesError:
+                    p2, d2 = self._evict_one_for_oom(s)
+                    preempted += p2
+                    demoted += d2
+                    continue
+                self.clock_s += fallback.elapsed_s
+                elapsed += fallback.elapsed_s
+                logits = None if fallback.logits is None else fallback.logits[0]
+                self._record_token(handle, logits)
+                emitted.append((handle.request_id, handle.output_tokens[-1]))
+                request_ids.append(handle.request_id)
+                continue
+            # Snapshot the rng before sampling: if the commit below OOMs,
+            # nothing may be emitted, and the rng must rewind so the replay
+            # after preemption re-draws the same stream.
+            rng_state = (
+                handle._rng.bit_generator.state if handle._rng is not None else None
+            )
+            sampled = self._verify_tokens(handle, fed, spec_result.logits)
+            self.clock_s += spec_result.elapsed_s
+            elapsed += spec_result.elapsed_s
+            try:
+                self._backend_commit(handle.seq_id, spec_result.chunk, len(sampled))
+            except DecodeOutOfPagesError:
+                if rng_state is not None:
+                    handle._rng.bit_generator.state = rng_state
+                p2, d2 = self._evict_one_for_oom(s)
+                preempted += p2
+                demoted += d2
+                continue
+            has_logits = spec_result.logits is not None
+            for token in sampled:
+                self._emit_token(handle, token, has_logits)
+                emitted.append((handle.request_id, token))
+            accepted = len(sampled) - 1
+            handle.draft_tokens_proposed += len(drafts)
+            handle.draft_tokens_accepted += accepted
+            handle.spec_decode_steps += 1
+            self.draft_tokens_proposed += len(drafts)
+            self.draft_tokens_accepted += accepted
+            self.spec_decode_steps += 1
+            step_proposed += len(drafts)
+            step_accepted += accepted
+            request_ids.append(handle.request_id)
+            self.decision_log.append(f"spec:{handle.request_id}:+{len(sampled)}")
+
+        if request_ids:
+            self.decision_log.append("decode:" + ",".join(request_ids))
         finished = self._retire()
         return StepOutcome(
             kind="decode",
             clock_s=self.clock_s,
-            elapsed_s=result.elapsed_s,
+            elapsed_s=elapsed,
             request_ids=tuple(request_ids),
             finished_ids=finished,
             preempted_ids=preempted,
             demoted_ids=demoted,
             emitted_tokens=tuple(emitted),
+            draft_proposed=step_proposed,
+            draft_accepted=step_accepted,
         )
 
     def _step_decode_oom(
@@ -721,10 +898,15 @@ class ServingEngine:
             token = PLACEHOLDER_TOKEN
         else:
             token = sample_token(logits, params, handle._rng)
-        handle.output_tokens.append(token)
+        self._emit_token(handle, token, has_logits=logits is not None)
+
+    def _emit_token(self, handle: RequestHandle, token: int, has_logits: bool) -> None:
+        """Append one already-sampled token to the handle (shared by both paths)."""
+        handle.output_tokens.append(int(token))
         handle.state.record_decode_token(self.clock_s)
         # Stop-token handling only applies to real content, not placeholders.
-        if logits is not None and not handle.state.is_finished and params.is_stop(token):
+        params = handle._params or self.default_sampling
+        if has_logits and not handle.state.is_finished and params.is_stop(token):
             handle.state.mark_finished(self.clock_s)
 
     def _retire(self) -> tuple[str, ...]:
@@ -750,7 +932,16 @@ class ServingEngine:
                 demoted_stall_s=state.demoted_stall_s,
                 restored_pages=handle.restored_pages,
                 restore_ms=handle.restore_ms,
+                draft_tokens_proposed=handle.draft_tokens_proposed,
+                draft_tokens_accepted=handle.draft_tokens_accepted,
+                spec_decode_steps=handle.spec_decode_steps,
             )
             self.metrics.add(handle.record)
+            self._release_draft(handle.request_id)
             finished_ids.append(handle.request_id)
         return tuple(finished_ids)
+
+    def _release_draft(self, request_id: str) -> None:
+        """Drop the draft source's per-request state, if any."""
+        if self.draft_source is not None:
+            self.draft_source.release(request_id)

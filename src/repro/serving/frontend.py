@@ -176,8 +176,11 @@ class AsyncServingEngine:
         backend: InferenceBackend,
         scheduler_config=None,
         default_sampling: SamplingParams | None = None,
+        draft_source=None,
     ) -> None:
-        self.engine = ServingEngine(backend, scheduler_config, default_sampling)
+        self.engine = ServingEngine(
+            backend, scheduler_config, default_sampling, draft_source=draft_source
+        )
         self._handles: dict[str, AsyncRequestHandle] = {}
         self._wake = asyncio.Event()
         self._drive_task: asyncio.Task | None = None

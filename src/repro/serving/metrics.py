@@ -59,6 +59,11 @@ class LiveGauges:
       tier (0 when tiering is off; the hot-tier occupancy is
       ``kv_tokens_in_use`` — the watermarks never count cold KV).
     * ``demotions`` / ``restores`` — lifetime cold-tier traffic counters.
+    * ``draft_tokens_proposed`` / ``draft_tokens_accepted`` /
+      ``spec_decode_steps`` — lifetime speculative-decoding counters (all 0
+      when no draft source is attached); the derived
+      ``draft_acceptance_rate`` and ``spec_effective_tokens_per_step``
+      gauges ride along in :meth:`to_dict` and the Prometheus exposition.
     """
 
     clock_s: float
@@ -76,6 +81,9 @@ class LiveGauges:
     cold_pages: int = 0
     demotions: int = 0
     restores: int = 0
+    draft_tokens_proposed: int = 0
+    draft_tokens_accepted: int = 0
+    spec_decode_steps: int = 0
 
     @property
     def kv_occupancy(self) -> float:
@@ -83,6 +91,30 @@ class LiveGauges:
         if self.kv_token_capacity <= 0:
             return 0.0
         return self.kv_tokens_in_use / self.kv_token_capacity
+
+    @property
+    def draft_acceptance_rate(self) -> float:
+        """Lifetime fraction of proposed draft tokens accepted (0.0 when none).
+
+        Zero rather than NaN so the Prometheus series always carries a
+        plottable sample, speculation active or not.
+        """
+        if self.draft_tokens_proposed <= 0:
+            return 0.0
+        return self.draft_tokens_accepted / self.draft_tokens_proposed
+
+    @property
+    def spec_effective_tokens_per_step(self) -> float:
+        """Mean tokens emitted per speculative decode step (0.0 when none).
+
+        Every speculative step emits one verified token plus its accepted
+        drafts, so this is
+        ``(spec_decode_steps + draft_tokens_accepted) / spec_decode_steps``
+        — the decode-iteration compression speculation bought.
+        """
+        if self.spec_decode_steps <= 0:
+            return 0.0
+        return (self.spec_decode_steps + self.draft_tokens_accepted) / self.spec_decode_steps
 
     @property
     def in_flight(self) -> int:
@@ -99,6 +131,8 @@ class LiveGauges:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["kv_occupancy"] = self.kv_occupancy
         out["in_flight"] = self.in_flight
+        out["draft_acceptance_rate"] = self.draft_acceptance_rate
+        out["spec_effective_tokens_per_step"] = self.spec_effective_tokens_per_step
         return out
 
     def to_prometheus(self, prefix: str = "repro_serving") -> str:
@@ -152,6 +186,11 @@ class RequestRecord:
       prefill).
     * ``restore_ms`` — total modeled cold-tier restore latency (milliseconds)
       charged to this request.
+    * ``draft_tokens_proposed`` / ``draft_tokens_accepted`` — speculative
+      draft tokens proposed for / accepted into this request's output (both
+      0 when it decoded without speculation).
+    * ``spec_decode_steps`` — decode steps the request took through the
+      speculative verify path (each emitted 1 + accepted-drafts tokens).
     """
 
     request_id: str
@@ -170,6 +209,9 @@ class RequestRecord:
     demoted_stall_s: float = 0.0
     restored_pages: int = 0
     restore_ms: float = 0.0
+    draft_tokens_proposed: int = 0
+    draft_tokens_accepted: int = 0
+    spec_decode_steps: int = 0
 
     @property
     def ttft_s(self) -> float:
@@ -198,6 +240,20 @@ class RequestRecord:
         if self.generated_tokens <= 1:
             return 0.0
         return self.decode_time_s / (self.generated_tokens - 1)
+
+    @property
+    def draft_acceptance_rate(self) -> float:
+        """Fraction of this request's proposed draft tokens accepted (0.0 when none)."""
+        if self.draft_tokens_proposed <= 0:
+            return 0.0
+        return self.draft_tokens_accepted / self.draft_tokens_proposed
+
+    @property
+    def spec_effective_tokens_per_step(self) -> float:
+        """Tokens per speculative decode step for this request (0.0 when none)."""
+        if self.spec_decode_steps <= 0:
+            return 0.0
+        return (self.spec_decode_steps + self.draft_tokens_accepted) / self.spec_decode_steps
 
 
 @dataclass
@@ -352,6 +408,36 @@ class ServingMetrics:
         if not samples:
             return 0.0
         return float(np.mean(samples))
+
+    def total_draft_tokens_proposed(self, priority: int | None = None) -> int:
+        """Total speculative draft tokens proposed, over the records."""
+        return int(sum(r.draft_tokens_proposed for r in self._select(priority)))
+
+    def total_draft_tokens_accepted(self, priority: int | None = None) -> int:
+        """Total speculative draft tokens accepted, over the records."""
+        return int(sum(r.draft_tokens_accepted for r in self._select(priority)))
+
+    def draft_acceptance_rate(self, priority: int | None = None) -> float:
+        """Pooled draft acceptance rate across the records (NaN when none proposed).
+
+        Pooled (total accepted / total proposed) rather than a mean of
+        per-request rates, so requests that speculated more weigh more.
+        """
+        proposed = self.total_draft_tokens_proposed(priority)
+        if proposed == 0:
+            return float("nan")
+        return self.total_draft_tokens_accepted(priority) / proposed
+
+    def mean_effective_tokens_per_step(self, priority: int | None = None) -> float:
+        """Pooled tokens per speculative decode step (0.0 when none ran).
+
+        ``(steps + accepted) / steps`` over all recorded speculative steps —
+        the decode-iteration compression the records actually realised.
+        """
+        steps = int(sum(r.spec_decode_steps for r in self._select(priority)))
+        if steps == 0:
+            return 0.0
+        return (steps + self.total_draft_tokens_accepted(priority)) / steps
 
     def total_generated_tokens(self) -> int:
         """Sum of generated tokens across all recorded requests."""

@@ -36,18 +36,27 @@ class SamplingParams:
     seed:
         Seed of the per-request random generator used for temperature
         sampling, so traces are reproducible.
+    speculation_k:
+        Draft tokens proposed per decode step when the serving engine has a
+        :class:`~repro.serving.speculative.DraftSource` attached.  ``0`` (the
+        default) disables speculation for the request.  Speculation never
+        changes outputs — accepted tokens are verified byte-exact against
+        the non-speculative decode path — so this is purely a latency knob.
     """
 
     temperature: float = 0.0
     top_k: int | None = None
     stop_token_ids: tuple[int, ...] = ()
     seed: int = 0
+    speculation_k: int = 0
 
     def __post_init__(self) -> None:
         if self.temperature < 0.0:
             raise ValueError("temperature must be non-negative")
         if self.top_k is not None and self.top_k < 1:
             raise ValueError("top_k must be >= 1 when set")
+        if self.speculation_k < 0:
+            raise ValueError("speculation_k must be non-negative")
         object.__setattr__(self, "stop_token_ids", tuple(int(t) for t in self.stop_token_ids))
 
     @property

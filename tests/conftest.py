@@ -18,13 +18,16 @@ def pytest_configure(config):
     )
 
 
-def assert_no_leaked_pages(allocator, backend=None, cold_store=None) -> None:
+def assert_no_leaked_pages(allocator, backend=None, cold_store=None, draft_source=None) -> None:
     """Assert every KV page went back to the pool (and every tier drained).
 
     The shared zero-leak audit used at the end of serving/cluster/tiering
     tests: the page allocator must report nothing allocated, the backend (when
     given) must hold no live KV tokens, and the cold tier (when given) must be
-    empty — demoted snapshots count as leaks too.
+    empty — demoted snapshots count as leaks too.  When ``draft_source`` is
+    given, its draft engine (if it has one, e.g. ``CheapEngineDraft``) must
+    also hold zero allocated pages and no lingering per-request draft state —
+    speculative scratch KV counts as a leak the same as target KV.
     """
     assert allocator.num_allocated == 0, (
         f"leaked {allocator.num_allocated} hot-tier pages "
@@ -41,6 +44,22 @@ def assert_no_leaked_pages(allocator, backend=None, cold_store=None) -> None:
             f"leaked {cold_store.num_pages} cold-tier pages "
             f"({cold_store.num_entries} entries)"
         )
+    if draft_source is not None:
+        fed = getattr(draft_source, "_fed", None)
+        if fed is not None:
+            assert not fed, f"draft source still tracks requests: {sorted(fed)}"
+        draft_engine = getattr(draft_source, "engine", None)
+        if draft_engine is not None:
+            dense = draft_engine.cache.dense_cache
+            if dense is not None:
+                assert dense.allocator.num_allocated == 0, (
+                    f"leaked {dense.allocator.num_allocated} draft-KV pages"
+                )
+            streaming = getattr(draft_engine.cache, "_streaming", None)
+            if streaming is not None:
+                assert not streaming, (
+                    f"draft engine still holds {len(streaming)} streaming KV stores"
+                )
 
 
 @pytest.fixture()

@@ -42,6 +42,7 @@ EXPECT_SNIPPETS = {
     "cluster.md",
     "disaggregation.md",
     "kv_tiering.md",
+    "speculative.md",
 }
 
 _FENCE = re.compile(

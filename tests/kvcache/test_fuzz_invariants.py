@@ -2,9 +2,12 @@
 
 Each seed drives a few hundred random operations — sequence creation,
 appends, copy-on-write forks, removals, export/import migrations, cold-tier
-demote/restore round trips, prefix registration/attachment, and prefix-index
-demotions and evictions — against one small page pool, and re-checks the
-global bookkeeping invariants after *every* operation:
+demote/restore round trips, prefix registration/attachment, prefix-index
+demotions and evictions, and the speculative-decoding lifecycle
+(draft-append onto a scratch fork, verify-accept committing a prefix back
+to the parent, verify-reject rolling the whole fork back) — against one
+small page pool, and re-checks the global bookkeeping invariants after
+*every* operation:
 
 * page conservation: ``num_free + num_allocated == capacity``;
 * every allocated page has refcount >= 1, and the refcount equals exactly
@@ -13,10 +16,13 @@ global bookkeeping invariants after *every* operation:
   (``allocator.num_pinned == index.held_pages``), and every one is allocated;
 * per-sequence consistency: all layers agree on the token count and the page
   table covers it;
-* the cold tier's entries match the driver's view of what was demoted.
+* the cold tier's entries match the driver's view of what was demoted;
+* every live draft scratch is a real sequence extending its recorded base —
+  speculative forks obey the same conservation rules as everything else.
 
 At the end of each run everything is torn down and the shared zero-leak
-audit must pass — no page may survive in either tier.
+audit must pass — no page may survive in either tier, and no rejected (or
+accepted) draft scratch may leave a page behind.
 """
 
 from __future__ import annotations
@@ -66,6 +72,8 @@ class FuzzDriver:
         self.tokens: dict[str, list[int]] = {}
         #: sequence ids currently parked in the cold tier.
         self.demoted: list[str] = []
+        #: draft scratch id -> (parent id, parent token count at fork time).
+        self.drafts: dict[str, tuple[str, int]] = {}
         self._next_id = 0
 
     # -- helpers ---------------------------------------------------------------
@@ -122,6 +130,7 @@ class FuzzDriver:
         if seq_id is not None:
             self.cache.remove_sequence(seq_id)
             del self.tokens[seq_id]
+            self.drafts.pop(seq_id, None)
 
     def op_read(self) -> None:
         """Touch a sequence's pages through the access clock the LRU policy uses."""
@@ -141,6 +150,7 @@ class FuzzDriver:
             self.cache.import_sequence(seq_id, export)
         else:
             del self.tokens[seq_id]  # pool too full to take it back: drop it
+            self.drafts.pop(seq_id, None)
 
     def op_demote(self) -> None:
         """Park a sequence's KV snapshot in the cold tier (serving demotion)."""
@@ -152,6 +162,7 @@ class FuzzDriver:
             return
         self.cache.remove_sequence(seq_id)
         toks = self.tokens.pop(seq_id)
+        self.drafts.pop(seq_id, None)
         self.cold.put(seq_id, (export, toks), export.n_pages, export.num_tokens)
         self.demoted.append(seq_id)
 
@@ -224,6 +235,66 @@ class FuzzDriver:
         page = self.cache.install_page_image(node.cold_k, node.cold_v)
         self.index.adopt_restored(node, page)
 
+    def op_draft_append(self) -> None:
+        """Fork a scratch off a live sequence and append draft tokens to it.
+
+        This is the cache-level shape of a speculative verify chunk: the
+        drafts land on a copy-on-write fork, never on the parent.
+        """
+        parent = self.pick_live()
+        if parent is None or parent in self.drafts or len(self.tokens) >= 10:
+            return
+        scratch = self.new_id() + "-draft"
+        self.cache.fork_sequence(parent, scratch)
+        self.tokens[scratch] = list(self.tokens[parent])
+        self.drafts[scratch] = (parent, len(self.tokens[parent]))
+        if not self.append_tokens(scratch, self.random_tokens(int(self.rng.integers(1, 5)))):
+            # No pages for any draft token: the chunk rolls back immediately.
+            self.cache.remove_sequence(scratch)
+            del self.tokens[scratch]
+            del self.drafts[scratch]
+
+    def pick_draft(self) -> str | None:
+        if not self.drafts:
+            return None
+        return str(self.rng.choice(sorted(self.drafts)))
+
+    def op_verify_accept(self) -> None:
+        """Commit an accepted draft prefix to the parent, then drop the fork.
+
+        Mirrors ``LServeEngine.commit_speculative``: the parent re-appends
+        the accepted tokens itself (so the commit is charged to the parent's
+        page tables), and the scratch is released whole.
+        """
+        scratch = self.pick_draft()
+        if scratch is None:
+            return
+        parent, base_len = self.drafts[scratch]
+        drafted = len(self.tokens[scratch]) - base_len
+        stale = (
+            parent not in self.tokens
+            or len(self.tokens[parent]) != base_len
+            or drafted < 1
+        )
+        if not stale:
+            # Parent gone or advanced since the fork would make the chunk
+            # stale — it could only be rejected (the engine re-proposes).
+            n_commit = int(self.rng.integers(1, drafted + 1))
+            accepted = self.tokens[scratch][base_len : base_len + n_commit]
+            self.append_tokens(parent, accepted)  # OOM -> commit nothing
+        self.cache.remove_sequence(scratch)
+        del self.tokens[scratch]
+        del self.drafts[scratch]
+
+    def op_verify_reject(self) -> None:
+        """Roll a draft fork back without committing anything."""
+        scratch = self.pick_draft()
+        if scratch is None:
+            return
+        self.cache.remove_sequence(scratch)
+        del self.tokens[scratch]
+        del self.drafts[scratch]
+
     def op_prefix_evict(self) -> None:
         """Hard-drop LRU prefix leaves (no cold tier) to free one more page."""
         if self.index.num_nodes:
@@ -243,6 +314,9 @@ class FuzzDriver:
         ("op_prefix_demote", 2),
         ("op_prefix_restore", 2),
         ("op_prefix_evict", 1),
+        ("op_draft_append", 4),
+        ("op_verify_accept", 3),
+        ("op_verify_reject", 2),
     )
 
     def step(self) -> str:
@@ -302,11 +376,18 @@ class FuzzDriver:
         # Live sequences and the driver's ground truth are the same set.
         assert set(cache.sequences()) == set(self.tokens)
 
+        # Every draft scratch is live and actually extends its recorded base;
+        # a scratch that escaped its record (or vice versa) is a leak-to-be.
+        for scratch, (parent, base_len) in self.drafts.items():
+            assert scratch in self.tokens, f"draft record for dead scratch {scratch}"
+            assert len(self.tokens[scratch]) >= base_len
+
     def teardown(self) -> None:
         """Drain both tiers completely; nothing may survive."""
         for seq_id in list(self.tokens):
             self.cache.remove_sequence(seq_id)
         self.tokens.clear()
+        self.drafts.clear()
         self.index.clear()
         for seq_id in list(self.demoted):
             self.cold.discard(seq_id)

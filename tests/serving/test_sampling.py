@@ -66,3 +66,90 @@ class TestSampleToken:
     def test_empty_logits_rejected(self):
         with pytest.raises(ValueError):
             sample_token(np.zeros(0), SamplingParams(), np.random.default_rng(0))
+
+    def test_speculation_k_knob(self):
+        assert SamplingParams().speculation_k == 0
+        assert SamplingParams(speculation_k=4).speculation_k == 4
+        with pytest.raises(ValueError):
+            SamplingParams(speculation_k=-1)
+
+
+class TestSamplePurity:
+    """The property speculative verification stands on: ``sample_token`` is a
+    pure function of ``(logits row, params, rng state)``.
+
+    The verify phase feeds logits rows computed in one batched chunk to the
+    request's own sampler, one row at a time.  That only reproduces the
+    non-speculative tokens byte-for-byte if the sampled token never depends
+    on *where* the row came from — batch position, other rows in the chunk,
+    dtype/layout of the slice, or how many unrelated calls happened before —
+    but only on the rng's own draw sequence.
+    """
+
+    PARAM_GRID = [
+        SamplingParams(),
+        SamplingParams(temperature=0.5),
+        SamplingParams(temperature=1.3, top_k=5),
+        SamplingParams(temperature=0.9, top_k=1),
+    ]
+
+    def batch(self, n=8, vocab=64, seed=0):
+        return np.random.default_rng(seed).normal(size=(n, vocab))
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_same_row_same_rng_state_same_token(self, params):
+        """A row sampled standalone equals the same row sampled mid-batch,
+        whenever the rng is restored to the same state first."""
+        batch = self.batch()
+        for j in range(batch.shape[0]):
+            standalone = sample_token(batch[j], params, np.random.default_rng(42))
+            # Same row reached after sampling every earlier row first, with
+            # the rng state snapshot/restored around the detour (the exact
+            # move the serving engine makes on a failed speculative commit).
+            rng = np.random.default_rng(42)
+            state = rng.bit_generator.state
+            for i in range(j):
+                sample_token(batch[i], params, rng)
+            rng.bit_generator.state = state
+            assert sample_token(batch[j], params, rng) == standalone
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_batch_position_and_layout_irrelevant(self, params):
+        """Row j of a batch, a copy, a float32 cast, and a reversed-batch
+        slice all sample the same token from the same rng state."""
+        batch = self.batch()
+        for j in range(batch.shape[0]):
+            views = [
+                batch[j],
+                batch[j].copy(),
+                batch[j].astype(np.float32).astype(np.float64),
+                batch[::-1][batch.shape[0] - 1 - j],
+            ]
+            tokens = {
+                sample_token(v, params, np.random.default_rng(9)) for v in views
+            }
+            assert len(tokens) == 1
+
+    def test_greedy_never_consumes_rng(self):
+        """Greedy sampling draws nothing, so call count cannot skew later
+        draws — the engine exploits this when logits rows are discarded."""
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        for row in self.batch():
+            sample_token(row, SamplingParams(), rng)
+        assert rng.bit_generator.state == before
+
+    def test_stochastic_draw_sequence_is_call_count_only(self):
+        """With temperature, the Nth call's token depends only on N — not on
+        which rows were sampled before."""
+        params = SamplingParams(temperature=1.0)
+        batch = self.batch()
+        other = self.batch(seed=99)
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        for j in range(batch.shape[0]):
+            # Interleave different *rows* but identical draw counts.
+            sample_token(batch[j], params, rng_a)
+            sample_token(other[j], params, rng_b)
+        target = np.random.default_rng(1).normal(size=64)
+        assert sample_token(target, params, rng_a) == sample_token(target, params, rng_b)
