@@ -112,6 +112,17 @@ RULES: dict[str, list[dict]] = {
          "tol": 0.05, "slack": 0.05},
         {"path": "results[*].tpot_speedup", "mode": "rel", "worse": "lower",
          "tol": 0.05, "slack": 0.05},
+        # Saturated-batch cells all run at acceptance >= 0.6, so fused batch
+        # verification beating plain decode_batch is an absolute floor, not
+        # just a no-regression diff (the PR 10 acceptance bar).
+        {"path": "checks.fused_beats_plain_saturated", "mode": "flag"},
+        {"path": "saturated[*].fused_beats_plain", "mode": "flag"},
+        {"path": "saturated[*].fused_speedup_vs_plain", "mode": "min",
+         "floor": 1.0},
+        {"path": "saturated[*].fused_speedup_vs_plain", "mode": "rel",
+         "worse": "lower", "tol": 0.05, "slack": 0.05},
+        {"path": "saturated[*].fused_speedup_vs_unfused", "mode": "rel",
+         "worse": "lower", "tol": 0.05, "slack": 0.05},
     ],
 }
 # fmt: on

@@ -678,6 +678,152 @@ class LServeEngine:
         )
         return logits, chunk
 
+    def decode_speculative_batch(
+        self, requests: list[tuple[object, list[int] | np.ndarray]]
+    ) -> list[tuple[np.ndarray, SpeculativeChunk]]:
+        """Verify every speculating sequence's chunk in one fused grouped pass.
+
+        ``requests`` is ``[(seq_id, token_ids), ...]`` — each entry exactly
+        what :meth:`decode_speculative` takes.  The fused pass concatenates
+        all sequences' chunk rows and runs the per-layer
+        embedding/QKV/output/FFN projections as **single batch-wide GEMMs**
+        over all ``M = sum(m_i)`` rows — the cross-request amortization
+        :meth:`decode_batch` exploits, now applied to verification — while
+        attention advances all chunks in lockstep: at chunk position ``j``,
+        every sequence whose chunk still has a row ``j`` appends it via one
+        ``append_batch`` and attends through one
+        :meth:`_decode_attention_batch` call (shape-signature grouping, never
+        padding, ragged fallback).  Because per-row GEMM results are
+        batch-size independent (:func:`_rowwise_matmul`) and the batched
+        KV-append/attention paths are composition-stable, entry ``i`` of the
+        result is **bitwise identical** to ``decode_speculative(*requests[i])``
+        run alone — and therefore to plain sequential decode of the accepted
+        prefix.
+
+        Atomicity matches :meth:`decode_batch`: every sequence's scratch fork
+        and page reservation happens *before* any compute, and a pool too
+        small for some chunks raises :class:`DecodeOutOfPagesError` naming
+        exactly the failed sequences with **nothing mutated** — all scratch
+        forks are released, every real sequence (and batchmate) is untouched,
+        so the caller can fall back or evict only the failed members and
+        retry the survivors.  On success each returned chunk is independent;
+        committing one sequence never affects another.
+        """
+        if not requests:
+            raise ValueError("decode_speculative_batch requires at least one sequence")
+        seq_ids = [seq_id for seq_id, _ in requests]
+        if len(set(seq_ids)) != len(seq_ids):
+            raise ValueError("duplicate seq_id in speculative batch")
+        token_arrays: list[np.ndarray] = []
+        bases: list[int] = []
+        for seq_id, token_ids in requests:
+            arr = np.asarray(token_ids, dtype=np.int64).ravel()
+            if arr.size == 0:
+                raise ValueError("decode_speculative requires at least one token")
+            base = self.cache.seq_len(seq_id)
+            if base == 0:
+                raise ValueError(
+                    f"decode requires a prefilled sequence, got {seq_id!r}"
+                )
+            token_arrays.append(arr)
+            bases.append(base)
+        scratches = [("__speculative__", seq_id) for seq_id in seq_ids]
+        for seq_id, scratch in zip(seq_ids, scratches):
+            if self.cache.has_sequence(scratch):
+                raise ValueError(f"speculative scratch for {seq_id!r} already active")
+
+        ms = [int(arr.size) for arr in token_arrays]
+        offsets = np.concatenate([[0], np.cumsum(ms)])
+        total = int(offsets[-1])
+
+        forked: list[object] = []
+        try:
+            # Fork + reserve for EVERY sequence before any compute.  Failures
+            # are collected (not raised one at a time) so the error names the
+            # full failed set; the finally-release undoes all forks, leaving
+            # real sequences bit-identical to before the call.
+            failed: list[object] = []
+            for seq_id, scratch, m in zip(seq_ids, scratches, ms):
+                self.cache.fork_sequence(seq_id, scratch)
+                self.selector.clone_sequence(seq_id, scratch)
+                forked.append(scratch)
+                try:
+                    self._reserve_pages(scratch, m)
+                except OutOfPagesError:
+                    failed.append(seq_id)
+            if failed:
+                dense = self.cache.dense_cache
+                num_free = dense.allocator.num_free if dense is not None else 0
+                raise DecodeOutOfPagesError(failed, num_free)
+
+            cfg = self.model.config
+            weights = self.model.weights
+            positions = np.concatenate(
+                [np.arange(b, b + m) for b, m in zip(bases, ms)]
+            )
+            # Lockstep schedule: at chunk position j, these batch members
+            # still have a row to append + attend.
+            max_m = max(ms)
+            active_per_step = [
+                [i for i in range(len(ms)) if ms[i] > j] for j in range(max_m)
+            ]
+            k_per_layer: list[np.ndarray] = []
+            v_per_layer: list[np.ndarray] = []
+            q_per_layer: list[np.ndarray] = []
+
+            hidden = weights.embedding[np.concatenate(token_arrays)]  # (M, hidden)
+            for layer_idx, layer in enumerate(weights.layers):
+                attn_in = rms_norm(hidden, layer.attn_norm)
+                q = _rowwise_matmul(attn_in, layer.wq).reshape(total, cfg.n_heads, cfg.head_dim)
+                k = _rowwise_matmul(attn_in, layer.wk).reshape(total, cfg.n_kv_heads, cfg.head_dim)
+                v = _rowwise_matmul(attn_in, layer.wv).reshape(total, cfg.n_kv_heads, cfg.head_dim)
+                q = apply_rope(q, positions, self.model.rope)
+                k = apply_rope(k, positions, self.model.rope)
+                k_per_layer.append(k)
+                v_per_layer.append(v)
+                q_per_layer.append(q)
+                attn_out = np.empty((total, cfg.n_heads, cfg.head_dim))
+                for j, active in enumerate(active_per_step):
+                    rows = np.array([offsets[i] + j for i in active], dtype=np.intp)
+                    self.cache.append_batch(
+                        [scratches[i] for i in active], layer_idx, k[rows], v[rows]
+                    )
+                    attn_out[rows] = self._decode_attention_batch(
+                        [scratches[i] for i in active],
+                        layer_idx,
+                        q[rows],
+                        np.array([bases[i] + j + 1 for i in active], dtype=np.int64),
+                    )
+                hidden = hidden + _rowwise_matmul(
+                    attn_out.reshape(total, cfg.hidden_size), layer.wo
+                )
+                ffn_in = rms_norm(hidden, layer.ffn_norm)
+                gate = silu(_rowwise_matmul(ffn_in, layer.w_gate)) * _rowwise_matmul(
+                    ffn_in, layer.w_up
+                )
+                hidden = hidden + _rowwise_matmul(gate, layer.w_down)
+
+            hidden = rms_norm(hidden, weights.final_norm)
+            logits = _rowwise_matmul(hidden, weights.lm_head)
+        finally:
+            for scratch in forked:
+                self.release(scratch)
+        self.stats.decode_steps += total
+
+        results: list[tuple[np.ndarray, SpeculativeChunk]] = []
+        for i, (seq_id, arr) in enumerate(zip(seq_ids, token_arrays)):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            chunk = SpeculativeChunk(
+                seq_id=seq_id,
+                base_len=bases[i],
+                tokens=arr,
+                k_per_layer=[k[lo:hi].copy() for k in k_per_layer],
+                v_per_layer=[v[lo:hi].copy() for v in v_per_layer],
+                q_per_layer=[q[lo:hi].copy() for q in q_per_layer],
+            )
+            results.append((logits[lo:hi].copy(), chunk))
+        return results
+
     def commit_speculative(
         self, seq_id: object, chunk: SpeculativeChunk, n_commit: int
     ) -> None:

@@ -44,10 +44,16 @@ engine and opt requests in with ``SamplingParams.speculation_k`` — each decode
 step then verifies up to ``k`` drafted tokens in one amortized chunk
 (:meth:`~repro.core.engine.LServeEngine.decode_speculative` on a copy-on-write
 scratch fork), accepts the longest byte-exact prefix, and rolls rejected draft
-KV back through the ref-counted release path.  Outputs are byte-identical to a
-non-speculative run at any acceptance rate; acceptance rate and effective
-tokens per step surface through :class:`~repro.serving.metrics.LiveGauges`,
-per-request records, and Prometheus.  See ``docs/speculative.md``.
+KV back through the ref-counted release path.  When two or more batch members
+speculate in the same step their chunks verify in one *fused* call
+(:meth:`~repro.core.engine.LServeEngine.decode_speculative_batch`), recovering
+cross-request GEMM amortization at saturation, and an optional
+:class:`~repro.serving.speculative.AdaptiveKPolicy` follows each request's
+rolling acceptance rate to pick its effective speculation depth.  Outputs are
+byte-identical to a non-speculative run at any acceptance rate; acceptance
+rate, effective tokens per step, and the live ``speculation_k`` spread surface
+through :class:`~repro.serving.metrics.LiveGauges`, per-request records, and
+Prometheus.  See ``docs/speculative.md``.
 
 On top of the synchronous front door sits the **async serving layer**
 (:mod:`repro.serving.frontend`): :class:`~repro.serving.frontend.AsyncServingEngine`
@@ -80,6 +86,7 @@ from repro.serving.backend import (
     KVHandoff,
     LServeBackend,
     SimulatedBackend,
+    SpecBatchResult,
     SpecStepResult,
     StepResult,
 )
@@ -116,6 +123,7 @@ from repro.serving.metrics import LiveGauges, RequestRecord, ServingMetrics
 from repro.serving.request import Request, RequestState, RequestStatus
 from repro.serving.sampling import SamplingParams, sample_token
 from repro.serving.speculative import (
+    AdaptiveKPolicy,
     CheapEngineDraft,
     DraftSource,
     ModeledDraft,
@@ -149,6 +157,8 @@ __all__ = [
     "SimulatedBackend",
     "StepResult",
     "SpecStepResult",
+    "SpecBatchResult",
+    "AdaptiveKPolicy",
     "DraftSource",
     "NGramDraft",
     "CheapEngineDraft",

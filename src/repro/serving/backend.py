@@ -39,6 +39,7 @@ from repro.kvcache.tiering import (
 __all__ = [
     "StepResult",
     "SpecStepResult",
+    "SpecBatchResult",
     "BackendWork",
     "InferenceBackend",
     "KVHandoff",
@@ -128,6 +129,26 @@ class SpecStepResult:
     chunk: object
 
 
+@dataclass(frozen=True)
+class SpecBatchResult:
+    """Outcome of one *fused* batch of speculative verification chunks.
+
+    ``logits[i]`` is the ``(m_i, vocab_size)`` per-position logits of batch
+    member ``i`` (``None`` entries for content-free backends), bitwise equal
+    to what a solo ``decode_speculative`` call would have returned;
+    ``chunks[i]`` is the member's backend-private verified state for
+    ``commit_speculative`` — members commit independently, so one member's
+    commit failure never disturbs another.  ``elapsed_s`` bills the whole
+    fused pass **once**: all members' chunk rows share a single weight pass
+    per layer, which is the cross-request amortization that makes
+    speculation win at saturated batching.
+    """
+
+    logits: list[np.ndarray | None]
+    elapsed_s: float
+    chunks: list[object]
+
+
 @dataclass
 class BackendWork:
     """Uniform work/latency accounting every backend maintains."""
@@ -204,7 +225,12 @@ class InferenceBackend(Protocol):
     (append the accepted prefix; must leave the sequence bit-identical to
     having decoded those tokens one at a time).  Both raise
     :class:`~repro.core.engine.DecodeOutOfPagesError` cleanly — the real
-    sequence is never left half-advanced.
+    sequence is never left half-advanced.  A backend may additionally expose
+    ``decode_speculative_batch(requests) -> SpecBatchResult`` — one *fused*
+    verification pass over every speculating sequence's chunk, billed once
+    (cross-request amortization) with per-member results bitwise equal to
+    solo calls; the serving engine prefers it whenever two or more batch
+    members speculate in the same step.
     """
 
     work: BackendWork
@@ -349,6 +375,36 @@ class SimulatedBackend:
         self.work.record_decode(m, elapsed)
         self.work.spec_chunks += 1
         return SpecStepResult(logits=None, elapsed_s=elapsed, chunk=m)
+
+    def decode_speculative_batch(self, requests: list) -> SpecBatchResult:
+        """Bill one fused verification pass over every member's chunk rows.
+
+        The fused pass is billed as **one** decode iteration of batch
+        ``sum(m_i)`` at the longest member context — all members share a
+        single weight load and per-step overhead per layer, instead of each
+        paying its own as the per-sequence :meth:`decode_speculative` loop
+        does.  That gap is exactly the cross-request amortization a saturated
+        batch loses under per-sequence verification.
+        """
+        if not requests:
+            raise ValueError("decode_speculative_batch requires at least one sequence")
+        ms = []
+        for seq_id, token_ids in requests:
+            if seq_id not in self._context:
+                raise KeyError(f"unknown sequence {seq_id!r}")
+            m = int(np.asarray(token_ids).size)
+            if m == 0:
+                raise ValueError("decode_speculative requires at least one token")
+            ms.append(m)
+        context = max(self._context[seq_id] for seq_id, _ in requests)
+        total = sum(ms)
+        elapsed = self.latency.decode_step_latency(context, batch=total)
+        self._attend_clock += 1
+        for seq_id, _ in requests:
+            self._attend[seq_id] = self._attend_clock
+        self.work.record_decode(total, elapsed)
+        self.work.spec_chunks += len(requests)
+        return SpecBatchResult(logits=[None] * len(requests), elapsed_s=elapsed, chunks=ms)
 
     def commit_speculative(self, seq_id: object, chunk: object, n_commit: int) -> None:
         """Advance the modelled context by the accepted prefix length."""
@@ -620,6 +676,38 @@ class LServeBackend:
         self.work.record_decode(m, elapsed)
         self.work.spec_chunks += 1
         return SpecStepResult(logits=logits, elapsed_s=elapsed, chunk=chunk)
+
+    def decode_speculative_batch(self, requests: list) -> SpecBatchResult:
+        """Verify every member's chunk in one fused engine pass.
+
+        Per-member logits and chunks are bitwise identical to solo
+        :meth:`decode_speculative` calls (see
+        :meth:`~repro.core.engine.LServeEngine.decode_speculative_batch`);
+        the cost model bills the whole pass **once** as a decode iteration of
+        batch ``sum(m_i)`` at the longest pre-chunk context — one shared
+        weight pass instead of one per member.  A pool too small for some
+        members raises :class:`~repro.core.engine.DecodeOutOfPagesError`
+        naming them, with every sequence untouched.
+        """
+        if not requests:
+            raise ValueError("decode_speculative_batch requires at least one sequence")
+        context = max(self.engine.context_length(s) for s, _ in requests)
+        total = sum(int(np.asarray(t).size) for _, t in requests)
+        wall_start = time.perf_counter()
+        results = self.engine.decode_speculative_batch(requests)
+        wall = time.perf_counter() - wall_start
+        elapsed = (
+            self.latency.decode_step_latency(context, batch=total)
+            if self.latency is not None
+            else wall
+        )
+        self.work.record_decode(total, elapsed)
+        self.work.spec_chunks += len(requests)
+        return SpecBatchResult(
+            logits=[logits for logits, _ in results],
+            elapsed_s=elapsed,
+            chunks=[chunk for _, chunk in results],
+        )
 
     def commit_speculative(self, seq_id: object, chunk: object, n_commit: int) -> None:
         """Append the accepted prefix to the real sequence (bit-exact replay).

@@ -178,11 +178,17 @@ def merge_live_gauges(gauges: list[LiveGauges]) -> LiveGauges:
 
     Counts (queue depth, running, completed, ...) and KV capacities sum;
     ``clock_s`` is the furthest replica clock.  ``backend_kv_tokens`` sums
-    the replicas that report one and stays ``-1`` when none do.
+    the replicas that report one and stays ``-1`` when none do.  The
+    ``speculation_k_*`` gauges fold over the replicas that track at least
+    one speculating request (``speculation_k_max > 0``): fleet min is the
+    min of replica mins, fleet max the max of replica maxes, and the fleet
+    mean is the unweighted mean of replica means; all three stay 0 when no
+    replica speculates.
     """
     if not gauges:
         raise ValueError("at least one replica gauge snapshot is required")
     reported = [g.backend_kv_tokens for g in gauges if g.backend_kv_tokens >= 0]
+    speculating = [g for g in gauges if g.speculation_k_max > 0]
     return LiveGauges(
         clock_s=max(g.clock_s for g in gauges),
         queue_depth=sum(g.queue_depth for g in gauges),
@@ -202,6 +208,17 @@ def merge_live_gauges(gauges: list[LiveGauges]) -> LiveGauges:
         draft_tokens_proposed=sum(g.draft_tokens_proposed for g in gauges),
         draft_tokens_accepted=sum(g.draft_tokens_accepted for g in gauges),
         spec_decode_steps=sum(g.spec_decode_steps for g in gauges),
+        speculation_k_min=(
+            min(g.speculation_k_min for g in speculating) if speculating else 0
+        ),
+        speculation_k_mean=(
+            sum(g.speculation_k_mean for g in speculating) / len(speculating)
+            if speculating
+            else 0.0
+        ),
+        speculation_k_max=(
+            max(g.speculation_k_max for g in speculating) if speculating else 0
+        ),
     )
 
 

@@ -151,6 +151,7 @@ class ServingEngine:
         scheduler_config: SchedulerConfig | None = None,
         default_sampling: SamplingParams | None = None,
         draft_source=None,
+        adaptive_k=None,
     ) -> None:
         """``draft_source`` enables speculative decoding.
 
@@ -158,18 +159,33 @@ class ServingEngine:
         per-request via ``SamplingParams.speculation_k > 0``.  Speculation
         needs a backend exposing ``decode_speculative`` /
         ``commit_speculative`` — without them the draft source is ignored
-        and every request decodes plainly.
+        and every request decodes plainly.  When the backend additionally
+        exposes ``decode_speculative_batch``, steps where two or more batch
+        members speculate verify all their chunks in one fused call.
+
+        ``adaptive_k`` is an optional
+        :class:`~repro.serving.speculative.AdaptiveKPolicy`: each request's
+        effective speculation depth follows its rolling acceptance rate
+        instead of staying pinned at ``SamplingParams.speculation_k``.  The
+        policy only reshapes *scheduling* (chunk sizes); emitted tokens stay
+        byte-identical because verification samples from the request's own
+        rng either way.
         """
         self.backend = backend
         self.scheduler = ContinuousBatchingScheduler(scheduler_config or SchedulerConfig())
         self.default_sampling = default_sampling or SamplingParams()
         self.draft_source = draft_source
+        self.adaptive_k = adaptive_k
         #: Lifetime speculative-decoding counters (live-gauge support).
         self.draft_tokens_proposed = 0
         self.draft_tokens_accepted = 0
         self.spec_decode_steps = 0
         self._backend_spec = getattr(backend, "decode_speculative", None)
+        self._backend_spec_batch = getattr(backend, "decode_speculative_batch", None)
         self._backend_commit = getattr(backend, "commit_speculative", None)
+        #: Last effective speculation k per live speculating request — the
+        #: source for the ``speculation_k`` live-gauge series.
+        self._spec_k_last: dict[str, int] = {}
         self.clock_s = 0.0
         self.metrics = ServingMetrics()
         #: Scheduler decision trace ("prefill:<id>" / "resume:<id>" /
@@ -357,6 +373,7 @@ class ServingEngine:
         cold_pages = self._cold_pages_gauge
         cold_store = self.backend.cold_store if self._has_cold_store else None
         kv_in_use = self.scheduler.kv_tokens_in_use()
+        spec_ks = list(self._spec_k_last.values())
         return LiveGauges(
             clock_s=self.clock_s,
             queue_depth=self.scheduler.waiting_count,
@@ -378,6 +395,9 @@ class ServingEngine:
             draft_tokens_proposed=self.draft_tokens_proposed,
             draft_tokens_accepted=self.draft_tokens_accepted,
             spec_decode_steps=self.spec_decode_steps,
+            speculation_k_min=min(spec_ks) if spec_ks else 0,
+            speculation_k_mean=sum(spec_ks) / len(spec_ks) if spec_ks else 0.0,
+            speculation_k_max=max(spec_ks) if spec_ks else 0,
         )
 
     # -- the serving loop ---------------------------------------------------------
@@ -685,10 +705,14 @@ class ServingEngine:
         params = handle._params or self.default_sampling
         if params.speculation_k <= 0 or not handle.output_tokens:
             return []
+        k_requested = params.speculation_k
+        if self.adaptive_k is not None:
+            k_requested = self.adaptive_k.effective_k(handle.request_id, k_requested)
+        self._spec_k_last[handle.request_id] = k_requested
         # Keep at least one position for the verified token itself: the
         # pending token plus k drafts emit at most k + 1 tokens.
         remaining = handle.request.max_new_tokens - handle.state.generated_tokens
-        k = min(params.speculation_k, remaining - 1)
+        k = min(k_requested, remaining - 1)
         if k <= 0:
             return []
         drafts = self.draft_source.propose(
@@ -738,6 +762,81 @@ class ServingEngine:
         self.scheduler.force_preempt([state], demote=self._tiering_active)
         return self._evict_states([state])
 
+    def _spec_fallback_plain(
+        self,
+        state: RequestState,
+        handle: RequestHandle,
+        emitted: list[tuple[str, int]],
+        request_ids: list[str],
+    ) -> tuple[float, tuple[tuple[str, ...], tuple[str, ...]]]:
+        """Verify-OOM fallback: one plain token at minimal footprint.
+
+        The speculative chunk did not fit (scratch fork + m positions) but
+        the sequence itself is untouched, so a plain single-token decode
+        keeps byte-identity and forward progress.  Returns the fallback's
+        elapsed time plus ``(preempted, demoted)`` ids when even the single
+        token does not fit and the request is evicted instead.
+        """
+        pending = handle.output_tokens[-1]
+        try:
+            fallback = self.backend.decode_batch([handle.seq_id], [pending])
+        except DecodeOutOfPagesError:
+            return 0.0, self._evict_one_for_oom(state)
+        self.clock_s += fallback.elapsed_s
+        logits = None if fallback.logits is None else fallback.logits[0]
+        self._record_token(handle, logits)
+        emitted.append((handle.request_id, handle.output_tokens[-1]))
+        request_ids.append(handle.request_id)
+        return fallback.elapsed_s, ((), ())
+
+    def _finish_spec_member(
+        self,
+        state: RequestState,
+        handle: RequestHandle,
+        drafts: list[int],
+        fed: list[int],
+        logits_rows: np.ndarray | None,
+        chunk,
+        emitted: list[tuple[str, int]],
+        request_ids: list[str],
+    ) -> tuple[tuple[tuple[str, ...], tuple[str, ...]], tuple[int, int]]:
+        """Verify, commit, and emit one speculating member's chunk.
+
+        Shared tail of the fused and per-sequence speculative paths (the
+        caller has already billed the verify call's elapsed time).  Returns
+        ``((preempted, demoted), (proposed, accepted))`` — eviction ids when
+        the commit OOMs (nothing emitted, rng rewound), counters otherwise.
+        """
+        # Snapshot the rng before sampling: if the commit below OOMs,
+        # nothing may be emitted, and the rng must rewind so the replay
+        # after preemption re-draws the same stream.
+        rng_state = (
+            handle._rng.bit_generator.state if handle._rng is not None else None
+        )
+        sampled = self._verify_tokens(handle, fed, logits_rows)
+        try:
+            self._backend_commit(handle.seq_id, chunk, len(sampled))
+        except DecodeOutOfPagesError:
+            if rng_state is not None:
+                handle._rng.bit_generator.state = rng_state
+            return self._evict_one_for_oom(state), (0, 0)
+        has_logits = logits_rows is not None
+        for token in sampled:
+            self._emit_token(handle, token, has_logits)
+            emitted.append((handle.request_id, token))
+        accepted = len(sampled) - 1
+        handle.draft_tokens_proposed += len(drafts)
+        handle.draft_tokens_accepted += accepted
+        handle.spec_decode_steps += 1
+        self.draft_tokens_proposed += len(drafts)
+        self.draft_tokens_accepted += accepted
+        self.spec_decode_steps += 1
+        if self.adaptive_k is not None:
+            self.adaptive_k.observe(handle.request_id, len(drafts), accepted)
+        request_ids.append(handle.request_id)
+        self.decision_log.append(f"spec:{handle.request_id}:+{len(sampled)}")
+        return ((), ()), (len(drafts), accepted)
+
     def _step_decode(
         self,
         batch: list[RequestState],
@@ -785,6 +884,63 @@ class ServingEngine:
                 emitted.append((handle.request_id, handle.output_tokens[-1]))
                 request_ids.append(handle.request_id)
 
+        if len(spec) >= 2 and self._backend_spec_batch is not None:
+            # Fused path: all speculating members verify their chunks in one
+            # grouped backend call.  A verify-OOM fails atomically (the
+            # backend raises before mutating anything), naming exactly the
+            # members whose scratch chunks did not fit; those fall back to a
+            # plain single-token step and the survivors retry fused.
+            group = spec
+            spec = []
+            while group:
+                if len(group) == 1:
+                    spec = group  # a lone survivor rides the per-sequence path
+                    break
+                feds = [
+                    [self._handles[s.request.request_id].output_tokens[-1], *drafts]
+                    for s, drafts in group
+                ]
+                requests = [
+                    (self._handles[s.request.request_id].seq_id, fed)
+                    for (s, _), fed in zip(group, feds)
+                ]
+                try:
+                    batch_result = self._backend_spec_batch(requests)
+                except DecodeOutOfPagesError as exc:
+                    failed_ids = {str(sid) for sid in exc.failed_seq_ids}
+                    failed = [m for m in group if m[0].request.request_id in failed_ids]
+                    group = [m for m in group if m[0].request.request_id not in failed_ids]
+                    if not failed:
+                        raise
+                    for s, _ in failed:
+                        handle = self._handles[s.request.request_id]
+                        fb_elapsed, (p2, d2) = self._spec_fallback_plain(
+                            s, handle, emitted, request_ids
+                        )
+                        elapsed += fb_elapsed
+                        preempted += p2
+                        demoted += d2
+                    continue
+                self.clock_s += batch_result.elapsed_s
+                elapsed += batch_result.elapsed_s
+                for i, (s, drafts) in enumerate(group):
+                    handle = self._handles[s.request.request_id]
+                    (p2, d2), (prop, acc) = self._finish_spec_member(
+                        s,
+                        handle,
+                        drafts,
+                        feds[i],
+                        batch_result.logits[i],
+                        batch_result.chunks[i],
+                        emitted,
+                        request_ids,
+                    )
+                    preempted += p2
+                    demoted += d2
+                    step_proposed += prop
+                    step_accepted += acc
+                group = []
+
         for s, drafts in spec:
             handle = self._handles[s.request.request_id]
             pending = handle.output_tokens[-1]
@@ -795,53 +951,23 @@ class ServingEngine:
                 # The chunk did not fit (scratch fork + m positions).  The
                 # sequence is untouched, so a plain single-token step keeps
                 # byte-identity and forward progress at minimal footprint.
-                try:
-                    fallback = self.backend.decode_batch([handle.seq_id], [pending])
-                except DecodeOutOfPagesError:
-                    p2, d2 = self._evict_one_for_oom(s)
-                    preempted += p2
-                    demoted += d2
-                    continue
-                self.clock_s += fallback.elapsed_s
-                elapsed += fallback.elapsed_s
-                logits = None if fallback.logits is None else fallback.logits[0]
-                self._record_token(handle, logits)
-                emitted.append((handle.request_id, handle.output_tokens[-1]))
-                request_ids.append(handle.request_id)
-                continue
-            # Snapshot the rng before sampling: if the commit below OOMs,
-            # nothing may be emitted, and the rng must rewind so the replay
-            # after preemption re-draws the same stream.
-            rng_state = (
-                handle._rng.bit_generator.state if handle._rng is not None else None
-            )
-            sampled = self._verify_tokens(handle, fed, spec_result.logits)
-            self.clock_s += spec_result.elapsed_s
-            elapsed += spec_result.elapsed_s
-            try:
-                self._backend_commit(handle.seq_id, spec_result.chunk, len(sampled))
-            except DecodeOutOfPagesError:
-                if rng_state is not None:
-                    handle._rng.bit_generator.state = rng_state
-                p2, d2 = self._evict_one_for_oom(s)
+                fb_elapsed, (p2, d2) = self._spec_fallback_plain(
+                    s, handle, emitted, request_ids
+                )
+                elapsed += fb_elapsed
                 preempted += p2
                 demoted += d2
                 continue
-            has_logits = spec_result.logits is not None
-            for token in sampled:
-                self._emit_token(handle, token, has_logits)
-                emitted.append((handle.request_id, token))
-            accepted = len(sampled) - 1
-            handle.draft_tokens_proposed += len(drafts)
-            handle.draft_tokens_accepted += accepted
-            handle.spec_decode_steps += 1
-            self.draft_tokens_proposed += len(drafts)
-            self.draft_tokens_accepted += accepted
-            self.spec_decode_steps += 1
-            step_proposed += len(drafts)
-            step_accepted += accepted
-            request_ids.append(handle.request_id)
-            self.decision_log.append(f"spec:{handle.request_id}:+{len(sampled)}")
+            self.clock_s += spec_result.elapsed_s
+            elapsed += spec_result.elapsed_s
+            (p2, d2), (prop, acc) = self._finish_spec_member(
+                s, handle, drafts, fed, spec_result.logits, spec_result.chunk,
+                emitted, request_ids,
+            )
+            preempted += p2
+            demoted += d2
+            step_proposed += prop
+            step_accepted += acc
 
         if request_ids:
             self.decision_log.append("decode:" + ",".join(request_ids))
@@ -942,6 +1068,9 @@ class ServingEngine:
         return tuple(finished_ids)
 
     def _release_draft(self, request_id: str) -> None:
-        """Drop the draft source's per-request state, if any."""
+        """Drop the draft source's (and adaptive-k policy's) per-request state."""
         if self.draft_source is not None:
             self.draft_source.release(request_id)
+        if self.adaptive_k is not None:
+            self.adaptive_k.release(request_id)
+        self._spec_k_last.pop(request_id, None)

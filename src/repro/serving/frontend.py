@@ -177,9 +177,14 @@ class AsyncServingEngine:
         scheduler_config=None,
         default_sampling: SamplingParams | None = None,
         draft_source=None,
+        adaptive_k=None,
     ) -> None:
         self.engine = ServingEngine(
-            backend, scheduler_config, default_sampling, draft_source=draft_source
+            backend,
+            scheduler_config,
+            default_sampling,
+            draft_source=draft_source,
+            adaptive_k=adaptive_k,
         )
         self._handles: dict[str, AsyncRequestHandle] = {}
         self._wake = asyncio.Event()

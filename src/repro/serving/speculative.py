@@ -44,6 +44,7 @@ from repro.core.engine import LServeEngine
 from repro.model.transformer import TinyTransformer
 
 __all__ = [
+    "AdaptiveKPolicy",
     "DraftSource",
     "NGramDraft",
     "CheapEngineDraft",
@@ -232,6 +233,121 @@ class ModeledDraft:
 
     def release(self, request_id: str) -> None:
         """Stateless — nothing to drop."""
+
+
+class AdaptiveKPolicy:
+    """Deterministic per-request ``speculation_k`` control from acceptance gauges.
+
+    Attach via ``ServingEngine(..., adaptive_k=AdaptiveKPolicy())``.  Each
+    speculating request starts at its requested ``SamplingParams.speculation_k``
+    (clamped into ``[k_min, k_max]``); after every speculative step the engine
+    reports the step's ``(proposed, accepted)`` counts through
+    :meth:`observe`, and the policy adjusts that request's effective ``k`` one
+    step at a time: ``patience`` consecutive observations with rolling
+    acceptance at or above ``raise_threshold`` raise ``k`` by one (drafting is
+    paying off — speculate deeper), ``patience`` consecutive observations at
+    or below ``lower_threshold`` lower it by one (wasted verification rows —
+    back off).  The rolling rate pools the last ``window`` observations, so a
+    single lucky chunk cannot whipsaw ``k``.
+
+    The policy changes **scheduling only, never content**: verification still
+    samples from the real logits with the request's own rng, so outputs are
+    byte-identical to any fixed ``k`` (property-tested in
+    ``tests/serving/test_adaptive_k.py``).  All state is per-request, updated
+    only by :meth:`observe`, and free of randomness/clocks — the same gauge
+    history always yields the same ``k`` trajectory, which keeps OOM-retry
+    replays and cluster failover resubmission deterministic.
+    """
+
+    def __init__(
+        self,
+        k_min: int = 1,
+        k_max: int = 8,
+        window: int = 16,
+        raise_threshold: float = 0.8,
+        lower_threshold: float = 0.4,
+        patience: int = 3,
+    ) -> None:
+        if k_min < 1:
+            raise ValueError("k_min must be >= 1")
+        if k_max < k_min:
+            raise ValueError("need k_min <= k_max")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 <= lower_threshold <= raise_threshold <= 1.0:
+            raise ValueError("need 0 <= lower_threshold <= raise_threshold <= 1")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.k_min = k_min
+        self.k_max = k_max
+        self.window = window
+        self.raise_threshold = raise_threshold
+        self.lower_threshold = lower_threshold
+        self.patience = patience
+        # request_id -> (k, observation window, raise streak, lower streak)
+        self._state: dict[str, tuple[int, list[tuple[int, int]], int, int]] = {}
+
+    def _clamp(self, k: int) -> int:
+        return max(self.k_min, min(self.k_max, int(k)))
+
+    def effective_k(self, request_id: str, requested_k: int) -> int:
+        """The ``k`` this request should draft with right now.
+
+        ``requested_k`` (the request's ``SamplingParams.speculation_k``)
+        seeds the trajectory on first sight, clamped into
+        ``[k_min, k_max]``; afterwards the adapted value is returned
+        regardless of the requested one.  ``requested_k <= 0`` means the
+        request opted out — the policy returns it unchanged and records
+        nothing.
+        """
+        if requested_k <= 0:
+            return requested_k
+        state = self._state.get(request_id)
+        if state is None:
+            state = (self._clamp(requested_k), [], 0, 0)
+            self._state[request_id] = state
+        return state[0]
+
+    def observe(self, request_id: str, proposed: int, accepted: int) -> None:
+        """Fold one speculative step's ``(proposed, accepted)`` into the gauges.
+
+        Unknown requests (never asked via :meth:`effective_k`) are ignored;
+        so are empty observations (``proposed <= 0``).
+        """
+        state = self._state.get(request_id)
+        if state is None or proposed <= 0:
+            return
+        k, history, raise_streak, lower_streak = state
+        history = (history + [(int(proposed), int(accepted))])[-self.window :]
+        total_proposed = sum(p for p, _ in history)
+        total_accepted = sum(a for _, a in history)
+        rate = total_accepted / total_proposed
+        if rate >= self.raise_threshold:
+            raise_streak, lower_streak = raise_streak + 1, 0
+        elif rate <= self.lower_threshold:
+            raise_streak, lower_streak = 0, lower_streak + 1
+        else:
+            raise_streak = lower_streak = 0
+        if raise_streak >= self.patience:
+            k = self._clamp(k + 1)
+            raise_streak = 0
+        elif lower_streak >= self.patience:
+            k = self._clamp(k - 1)
+            lower_streak = 0
+        self._state[request_id] = (k, history, raise_streak, lower_streak)
+
+    def current_k(self, request_id: str) -> int | None:
+        """The request's adapted ``k`` (``None`` when it was never tracked)."""
+        state = self._state.get(request_id)
+        return state[0] if state is not None else None
+
+    def tracked_k_values(self) -> list[int]:
+        """Adapted ``k`` of every tracked request (live-gauge support)."""
+        return [state[0] for state in self._state.values()]
+
+    def release(self, request_id: str) -> None:
+        """Drop the request's trajectory (request retired or aborted)."""
+        self._state.pop(request_id, None)
 
 
 class PrerecordedDraft:

@@ -5,9 +5,10 @@ appends, copy-on-write forks, removals, export/import migrations, cold-tier
 demote/restore round trips, prefix registration/attachment, prefix-index
 demotions and evictions, and the speculative-decoding lifecycle
 (draft-append onto a scratch fork, verify-accept committing a prefix back
-to the parent, verify-reject rolling the whole fork back) — against one
-small page pool, and re-checks the global bookkeeping invariants after
-*every* operation:
+to the parent, verify-reject rolling the whole fork back, and fused verify
+resolving a random subset of live drafts in one call with random accept
+counts) — against one small page pool, and re-checks the global bookkeeping
+invariants after *every* operation:
 
 * page conservation: ``num_free + num_allocated == capacity``;
 * every allocated page has refcount >= 1, and the refcount equals exactly
@@ -295,6 +296,38 @@ class FuzzDriver:
         del self.tokens[scratch]
         del self.drafts[scratch]
 
+    def op_fused_verify(self) -> None:
+        """Resolve a random subset of live drafts in one fused verification.
+
+        The cache-level shape of ``decode_speculative_batch`` plus its
+        per-member commits: several scratch forks resolve together, each
+        committing a random accepted prefix back to its parent, and every
+        scratch is released whatever its batchmates did.  The stale-chunk
+        guard applies per member — a parent that vanished or advanced since
+        the fork (including because an earlier member of the *same* fused
+        batch committed to it) can only be rejected.
+        """
+        if not self.drafts:
+            return
+        pool = sorted(self.drafts)
+        size = int(self.rng.integers(1, len(pool) + 1))
+        subset = [str(s) for s in self.rng.choice(pool, size=size, replace=False)]
+        for scratch in subset:
+            parent, base_len = self.drafts[scratch]
+            drafted = len(self.tokens.get(scratch, ())) - base_len
+            stale = (
+                parent not in self.tokens
+                or len(self.tokens[parent]) != base_len
+                or drafted < 1
+            )
+            if not stale and bool(self.rng.integers(0, 2)):
+                n_commit = int(self.rng.integers(1, drafted + 1))
+                accepted = self.tokens[scratch][base_len : base_len + n_commit]
+                self.append_tokens(parent, accepted)  # OOM -> commit nothing
+            self.cache.remove_sequence(scratch)
+            del self.tokens[scratch]
+            del self.drafts[scratch]
+
     def op_prefix_evict(self) -> None:
         """Hard-drop LRU prefix leaves (no cold tier) to free one more page."""
         if self.index.num_nodes:
@@ -317,6 +350,7 @@ class FuzzDriver:
         ("op_draft_append", 4),
         ("op_verify_accept", 3),
         ("op_verify_reject", 2),
+        ("op_fused_verify", 3),
     )
 
     def step(self) -> str:

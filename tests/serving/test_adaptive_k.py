@@ -1,0 +1,336 @@
+"""AdaptiveKPolicy property tests: deterministic, clamped, monotone, lossless.
+
+The policy's contract (PR 10): per-request effective ``speculation_k``
+follows the rolling acceptance gauges — deterministically (same history,
+same trajectory), clamped into ``[k_min, k_max]``, monotone under sustained
+acceptance shifts — and it changes **scheduling only, never content**: a
+serving run with adaptive k emits byte-identical streams to fixed k,
+because verification always samples the real logits with the request's own
+rng.  The adapted spread is observable end to end through the
+``speculation_k`` live-gauge series, its Prometheus rendering, and the
+cluster-level merge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LServeConfig
+from repro.core.engine import LServeEngine
+from repro.model.configs import tiny_model_config
+from repro.model.transformer import TinyTransformer
+from repro.serving import (
+    AdaptiveKPolicy,
+    LServeBackend,
+    LiveGauges,
+    PrerecordedDraft,
+    Request,
+    SamplingParams,
+    SchedulerConfig,
+    ServingEngine,
+    merge_live_gauges,
+)
+from tests.conftest import assert_no_leaked_pages
+
+STREAMING_MASK = np.array([False, True])
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyTransformer(tiny_model_config(), seed=11)
+
+
+def make_backend(model) -> LServeBackend:
+    return LServeBackend(
+        LServeEngine(
+            model,
+            LServeConfig(
+                streaming_head_ratio=0.5,
+                dynamic_sparsity_enabled=True,
+                kv_bits=8,
+                physical_page_size=16,
+                logical_page_size=4,
+                sink_tokens=16,
+                local_tokens=32,
+                q_block_size=16,
+                token_budget=64,
+                reuse_interval=4,
+            ),
+            streaming_kv_heads=STREAMING_MASK,
+            num_cache_pages=512,
+        )
+    )
+
+
+def prompt_ids(model, seed: int, n: int = 48) -> list[int]:
+    return [int(t) for t in (np.arange(n) * (seed * 2 + 3)) % model.config.vocab_size]
+
+
+def trace(model, k: int, temperature: float = 0.0, n: int = 3, max_new: int = 24):
+    return [
+        Request.from_prompt(
+            f"r{i}",
+            prompt_ids(model, i),
+            max_new_tokens=max_new,
+            sampling=SamplingParams(
+                temperature=temperature, seed=7, speculation_k=k
+            ),
+            arrival_time_s=0.001 * i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestPolicyProperties:
+    """Pure policy-level properties, no engine involved."""
+
+    def random_history(self, seed: int, n: int = 120) -> list[tuple[int, int]]:
+        rng = np.random.default_rng(seed)
+        history = []
+        for _ in range(n):
+            proposed = int(rng.integers(1, 9))
+            history.append((proposed, int(rng.integers(0, proposed + 1))))
+        return history
+
+    def trajectory(self, policy: AdaptiveKPolicy, history, requested_k=4) -> list[int]:
+        ks = [policy.effective_k("r", requested_k)]
+        for proposed, accepted in history:
+            policy.observe("r", proposed, accepted)
+            ks.append(policy.effective_k("r", requested_k))
+        return ks
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_deterministic_given_same_history(self, seed):
+        history = self.random_history(seed)
+        a = self.trajectory(AdaptiveKPolicy(), history)
+        b = self.trajectory(AdaptiveKPolicy(), history)
+        assert a == b
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_k_always_within_bounds(self, seed):
+        policy = AdaptiveKPolicy(k_min=2, k_max=6, window=4, patience=1)
+        ks = self.trajectory(policy, self.random_history(seed))
+        assert all(2 <= k <= 6 for k in ks)
+
+    def test_requested_k_seeds_clamped(self):
+        policy = AdaptiveKPolicy(k_min=2, k_max=6)
+        assert policy.effective_k("lo", 1) == 2
+        assert policy.effective_k("hi", 100) == 6
+        assert policy.effective_k("mid", 4) == 4
+
+    def test_opt_out_returns_unchanged_and_untracked(self):
+        policy = AdaptiveKPolicy()
+        assert policy.effective_k("r", 0) == 0
+        assert policy.effective_k("r", -3) == -3
+        assert policy.current_k("r") is None
+        assert policy.tracked_k_values() == []
+
+    def test_sustained_high_acceptance_monotone_to_k_max(self):
+        policy = AdaptiveKPolicy(k_max=8, window=4, patience=2)
+        ks = self.trajectory(policy, [(4, 4)] * 30)
+        assert all(b >= a for a, b in zip(ks, ks[1:]))
+        assert ks[-1] == 8
+
+    def test_sustained_low_acceptance_monotone_to_k_min(self):
+        policy = AdaptiveKPolicy(k_min=1, window=4, patience=2)
+        ks = self.trajectory(policy, [(4, 0)] * 30)
+        assert all(b <= a for a, b in zip(ks, ks[1:]))
+        assert ks[-1] == 1
+
+    def test_acceptance_shift_flips_direction_monotonically(self):
+        """High phase rises, then a sustained collapse only ever lowers k."""
+        policy = AdaptiveKPolicy(window=4, patience=2)
+        rise = self.trajectory(policy, [(4, 4)] * 20)
+        assert rise[-1] > rise[0]
+        fall = []
+        for _ in range(40):
+            policy.observe("r", 4, 0)
+            fall.append(policy.effective_k("r", 4))
+        assert all(b <= a for a, b in zip(fall, fall[1:]))
+        assert fall[-1] == policy.k_min
+
+    def test_mid_band_acceptance_holds_k_steady(self):
+        policy = AdaptiveKPolicy(raise_threshold=0.8, lower_threshold=0.4)
+        ks = self.trajectory(policy, [(10, 6)] * 40)  # rate 0.6: dead band
+        assert set(ks) == {4}
+
+    def test_patience_gates_each_step(self):
+        policy = AdaptiveKPolicy(window=8, patience=3)
+        policy.effective_k("r", 4)
+        for i in range(1, 7):
+            policy.observe("r", 4, 4)
+            expected = 4 + i // 3  # one raise per full patience run
+            assert policy.current_k("r") == expected
+
+    def test_observe_ignores_unknown_and_empty(self):
+        policy = AdaptiveKPolicy()
+        policy.observe("ghost", 4, 4)  # never seeded: no-op
+        assert policy.current_k("ghost") is None
+        policy.effective_k("r", 4)
+        for _ in range(10):
+            policy.observe("r", 0, 0)  # empty steps never move k
+        assert policy.current_k("r") == 4
+
+    def test_release_drops_state_and_reseeds(self):
+        policy = AdaptiveKPolicy(window=2, patience=1)
+        policy.effective_k("r", 4)
+        policy.observe("r", 4, 4)
+        assert policy.current_k("r") == 5
+        policy.release("r")
+        assert policy.current_k("r") is None
+        assert policy.effective_k("r", 4) == 4
+
+    def test_tracked_k_values(self):
+        policy = AdaptiveKPolicy(window=2, patience=1)
+        policy.effective_k("a", 2)
+        policy.effective_k("b", 6)
+        policy.observe("b", 4, 4)
+        assert sorted(policy.tracked_k_values()) == [2, 7]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k_min": 0},
+            {"k_min": 5, "k_max": 3},
+            {"window": 0},
+            {"raise_threshold": 0.3, "lower_threshold": 0.5},
+            {"lower_threshold": -0.1},
+            {"raise_threshold": 1.2},
+            {"patience": 0},
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveKPolicy(**kwargs)
+
+
+class TestServingByteIdentity:
+    """Adaptive k changes chunk scheduling, never the emitted streams."""
+
+    def run_engine(self, model, requests, draft, adaptive_k=None):
+        backend = make_backend(model)
+        engine = ServingEngine(
+            backend,
+            SchedulerConfig(max_batch_size=4),
+            draft_source=draft,
+            adaptive_k=adaptive_k,
+        )
+        gauge_maxes = []
+        for r in requests:
+            engine.submit(r)
+        while engine.step() is not None:
+            gauge_maxes.append(engine.live_gauges().speculation_k_max)
+        outputs = {
+            r.request_id: list(engine.handle(r.request_id).output_tokens)
+            for r in requests
+        }
+        assert_no_leaked_pages(
+            backend.engine.cache.dense_cache.allocator, backend=backend
+        )
+        return engine, outputs, gauge_maxes
+
+    @pytest.mark.parametrize(
+        "temperature", [pytest.param(0.0, id="greedy"), pytest.param(0.8, id="temp")]
+    )
+    def test_adaptive_matches_fixed_k_byte_identically(self, model, temperature):
+        plain = trace(model, 0, temperature)
+        _, reference, _ = self.run_engine(model, plain, None)
+
+        spec = trace(model, 4, temperature)
+        _, fixed_out, _ = self.run_engine(model, spec, PrerecordedDraft(reference))
+        policy = AdaptiveKPolicy(k_min=1, k_max=8, window=4, patience=1)
+        adaptive_engine, adaptive_out, gauge_maxes = self.run_engine(
+            model, spec, PrerecordedDraft(reference), adaptive_k=policy
+        )
+
+        assert fixed_out == reference
+        assert adaptive_out == reference
+        # Prerecorded drafts accept everything, so patience=1 must have
+        # pushed the live gauge above the requested k mid-run.
+        assert max(gauge_maxes) > 4
+        assert adaptive_engine.draft_tokens_accepted > 0
+
+    def test_low_acceptance_backs_off_and_stays_byte_identical(self, model):
+        plain = trace(model, 0)
+        _, reference, _ = self.run_engine(model, plain, None)
+
+        wrong = {
+            rid: [(t + 1) % model.config.vocab_size for t in toks]
+            for rid, toks in reference.items()
+        }
+        policy = AdaptiveKPolicy(k_min=1, k_max=8, window=4, patience=1)
+        engine, outputs, _ = self.run_engine(
+            model, trace(model, 4), PrerecordedDraft(wrong), adaptive_k=policy
+        )
+        assert outputs == reference
+        assert engine.draft_tokens_accepted < engine.draft_tokens_proposed
+
+    def test_policy_state_released_with_requests(self, model):
+        plain = trace(model, 0)
+        _, reference, _ = self.run_engine(model, plain, None)
+        policy = AdaptiveKPolicy()
+        engine, _, _ = self.run_engine(
+            model, trace(model, 4), PrerecordedDraft(reference), adaptive_k=policy
+        )
+        assert policy.tracked_k_values() == []
+        assert engine._spec_k_last == {}
+        gauges = engine.live_gauges()
+        assert gauges.speculation_k_min == 0
+        assert gauges.speculation_k_mean == 0.0
+        assert gauges.speculation_k_max == 0
+
+
+def gauges_with(**overrides) -> LiveGauges:
+    base = dict(
+        clock_s=0.0,
+        queue_depth=0,
+        pending_arrivals=0,
+        running=0,
+        kv_tokens_in_use=0,
+        kv_token_capacity=0,
+        backend_kv_tokens=-1,
+        completed=0,
+        aborted=0,
+        preemptions=0,
+    )
+    base.update(overrides)
+    return LiveGauges(**base)
+
+
+class TestGaugeSurface:
+    """speculation_k series: LiveGauges fields, Prometheus, cluster merge."""
+
+    def test_prometheus_series(self):
+        gauges = gauges_with(
+            speculation_k_min=2,
+            speculation_k_mean=3.5,
+            speculation_k_max=6,
+        )
+        body = gauges.to_prometheus(prefix="repro_serving")
+        assert 'repro_serving_speculation_k{stat="min"} 2' in body
+        assert 'repro_serving_speculation_k{stat="mean"} 3.5' in body
+        assert 'repro_serving_speculation_k{stat="max"} 6' in body
+
+    def test_merge_folds_over_speculating_replicas_only(self):
+        speculating = gauges_with(
+            clock_s=1.0,
+            speculation_k_min=2,
+            speculation_k_mean=3.0,
+            speculation_k_max=5,
+        )
+        deeper = gauges_with(
+            clock_s=2.0,
+            speculation_k_min=4,
+            speculation_k_mean=5.0,
+            speculation_k_max=8,
+        )
+        idle = gauges_with(clock_s=3.0)  # no speculating requests tracked
+        merged = merge_live_gauges([speculating, deeper, idle])
+        assert merged.speculation_k_min == 2
+        assert merged.speculation_k_mean == 4.0
+        assert merged.speculation_k_max == 8
+
+    def test_merge_without_speculation_stays_zero(self):
+        merged = merge_live_gauges([gauges_with(clock_s=1.0), gauges_with(clock_s=2.0)])
+        assert merged.speculation_k_min == 0
+        assert merged.speculation_k_mean == 0.0
+        assert merged.speculation_k_max == 0

@@ -486,6 +486,12 @@ class TestCompositionMatrix:
                     raise RuntimeError("injected replica fault")
                 return self._inner.decode_speculative(seq_id, token_ids)
 
+            def decode_speculative_batch(self, requests):
+                self._specs += len(requests)
+                if self._specs >= self._fail_at:
+                    raise RuntimeError("injected replica fault")
+                return self._inner.decode_speculative_batch(requests)
+
         async def main():
             cluster = ServingCluster(
                 [
@@ -515,6 +521,7 @@ class TestOOMFallbacks:
         reference = reference_outputs(model, SamplingParams())
         backend = make_backend(model)
         real_spec = backend.decode_speculative
+        real_spec_batch = backend.decode_speculative_batch
 
         calls = {"n": 0}
 
@@ -524,7 +531,16 @@ class TestOOMFallbacks:
                 raise DecodeOutOfPagesError([seq_id], 0)
             return real_spec(seq_id, token_ids)
 
+        def flaky_spec_batch(requests):
+            # Fail one member per odd call: the engine must fall that member
+            # back to a plain step and retry the survivors fused.
+            calls["n"] += 1
+            if calls["n"] % 2:
+                raise DecodeOutOfPagesError([requests[0][0]], 0)
+            return real_spec_batch(requests)
+
         backend.decode_speculative = flaky_spec
+        backend.decode_speculative_batch = flaky_spec_batch
         engine, _, outputs = run_serving(
             backend,
             trace(model, with_speculation(SamplingParams(), 4)),

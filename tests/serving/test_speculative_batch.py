@@ -1,0 +1,415 @@
+"""Fused batch speculative verification: the cross-batch differential matrix.
+
+PR 10's acceptance-critical property: verifying every speculating sequence's
+chunk in **one** fused engine pass (``decode_speculative_batch``) is
+*bitwise* identical to verifying each chunk alone (``decode_speculative``),
+which PR 9 already proved bitwise-identical to plain sequential decode.  The
+``_rowwise_matmul`` GEMM pinning plus the no-padding signature-grouped
+batched attention make every chunk row independent of its batchmates, so the
+identity must hold for **every** batch composition.
+
+The matrix crosses, at the engine level: head splits (all-dense /
+all-streaming / mixed), heterogeneous k per member (1/3/5/7), CoW-forked
+batchmates sharing pages, and a mid-batch verify-OOM that must fail
+atomically (only the named member, batchmates untouched).  At the serving
+level: fused vs per-sequence vs non-speculative runs over spec+plain mixes,
+sampling modes, and an injected one-member verify-OOM mid-run.  Every
+real-backend cell ends with the shared zero-leak audit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LServeConfig
+from repro.core.engine import DecodeOutOfPagesError, LServeEngine
+from repro.model.configs import tiny_model_config
+from repro.model.transformer import TinyTransformer
+from repro.serving import (
+    LServeBackend,
+    PrerecordedDraft,
+    Request,
+    SamplingParams,
+    SchedulerConfig,
+    ServingEngine,
+)
+from tests.conftest import assert_no_leaked_pages
+
+HEAD_SPLITS = {
+    "dense": np.array([False, False]),
+    "streaming": np.array([True, True]),
+    "mixed": np.array([False, True]),
+}
+
+HEAD_SPLIT_PARAMS = [
+    pytest.param("dense", marks=pytest.mark.slow),
+    pytest.param("streaming", marks=pytest.mark.slow),
+    pytest.param("mixed"),
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyTransformer(tiny_model_config(), seed=11)
+
+
+def lserve_config(**overrides) -> LServeConfig:
+    base = dict(
+        streaming_head_ratio=0.5,
+        dynamic_sparsity_enabled=True,
+        kv_bits=8,
+        physical_page_size=16,
+        logical_page_size=4,
+        sink_tokens=16,
+        local_tokens=32,
+        q_block_size=16,
+        token_budget=64,
+        reuse_interval=4,
+    )
+    base.update(overrides)
+    return LServeConfig(**base)
+
+
+def make_engine(model, split="mixed", num_pages=512, **overrides) -> LServeEngine:
+    return LServeEngine(
+        model,
+        lserve_config(**overrides),
+        streaming_kv_heads=HEAD_SPLITS[split],
+        num_cache_pages=num_pages,
+    )
+
+
+def prompt_ids(model, seed: int, n: int = 48) -> list[int]:
+    return [int(t) for t in (np.arange(n) * (seed * 2 + 3)) % model.config.vocab_size]
+
+
+def chunk_tokens(model, seed: int, k: int) -> list[int]:
+    return [int(t) for t in (np.arange(k) * 11 + seed * 5 + 1) % model.config.vocab_size]
+
+
+def bytes_eq(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.dtype == b.dtype and a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+def assert_chunks_identical(solo, fused) -> None:
+    """Every captured per-layer array of a chunk must match bitwise."""
+    assert solo.seq_id == fused.seq_id
+    assert solo.base_len == fused.base_len
+    assert np.array_equal(solo.tokens, fused.tokens)
+    for name in ("k_per_layer", "v_per_layer", "q_per_layer"):
+        for a, b in zip(getattr(solo, name), getattr(fused, name)):
+            assert bytes_eq(a, b), f"chunk {name} differs for {solo.seq_id!r}"
+
+
+def audit_engine(engine: LServeEngine) -> None:
+    dense = engine.cache.dense_cache
+    if dense is not None:
+        assert_no_leaked_pages(dense.allocator)
+
+
+def prefill_seqs(engine, model, lengths: list[int]) -> list[str]:
+    seq_ids = []
+    for i, n in enumerate(lengths):
+        seq_id = f"s{i}"
+        engine.prefill(seq_id, np.asarray(prompt_ids(model, i, n), dtype=np.int64))
+        seq_ids.append(seq_id)
+    return seq_ids
+
+
+class TestFusedEngineDifferential:
+    """decode_speculative_batch vs decode_speculative vs sequential decode."""
+
+    @pytest.mark.parametrize("split", HEAD_SPLIT_PARAMS)
+    def test_fused_matches_solo_and_sequential(self, model, split):
+        """Heterogeneous k per member, every head split: logits and captured
+        chunks bitwise-equal to per-sequence verification, and every chunk
+        row bitwise-equal to plain one-token-at-a-time decode on a fork."""
+        engine = make_engine(model, split)
+        ks = [1, 3, 5, 7]
+        seq_ids = prefill_seqs(engine, model, [40, 48, 56, 64])
+        requests = [
+            (sid, chunk_tokens(model, i, k))
+            for i, (sid, k) in enumerate(zip(seq_ids, ks))
+        ]
+
+        solo = [engine.decode_speculative(sid, toks) for sid, toks in requests]
+        fused = engine.decode_speculative_batch(requests)
+        for (solo_logits, solo_chunk), (fused_logits, fused_chunk) in zip(solo, fused):
+            assert bytes_eq(solo_logits, fused_logits)
+            assert_chunks_identical(solo_chunk, fused_chunk)
+
+        # Sequential ground truth: feed the same tokens one at a time through
+        # a CoW fork; row j of the fused logits is the distribution after
+        # consuming tokens[: j + 1], bitwise.
+        for (sid, toks), (fused_logits, _) in zip(requests, fused):
+            ref = ("ref", sid)
+            engine.fork_sequence(sid, ref)
+            for j, tok in enumerate(toks):
+                row = engine.decode(ref, int(tok))
+                assert bytes_eq(row, fused_logits[j]), f"row {j} of {sid} differs"
+            engine.release(ref)
+
+        for sid in seq_ids:
+            engine.release(sid)
+        audit_engine(engine)
+
+    def test_commit_after_fused_matches_solo_commit(self, model):
+        """Committing fused-captured chunks leaves the engine byte-identical
+        to committing solo-captured chunks: the next decoded rows match."""
+        lengths, ks, n_commits = [40, 52, 47], [4, 3, 5], [3, 1, 4]
+        fused_engine = make_engine(model)
+        solo_engine = make_engine(model)
+        seq_ids = prefill_seqs(fused_engine, model, lengths)
+        prefill_seqs(solo_engine, model, lengths)
+        requests = [
+            (sid, chunk_tokens(model, i, k))
+            for i, (sid, k) in enumerate(zip(seq_ids, ks))
+        ]
+
+        fused = fused_engine.decode_speculative_batch(requests)
+        for (sid, _), (_, chunk), n in zip(requests, fused, n_commits):
+            fused_engine.commit_speculative(sid, chunk, n)
+        for sid, toks in requests:
+            logits, chunk = solo_engine.decode_speculative(sid, toks)
+            n = n_commits[seq_ids.index(sid)]
+            solo_engine.commit_speculative(sid, chunk, n)
+
+        probe = 17 % model.config.vocab_size
+        after_fused = fused_engine.decode_batch(seq_ids, [probe] * len(seq_ids))
+        after_solo = solo_engine.decode_batch(seq_ids, [probe] * len(seq_ids))
+        assert bytes_eq(after_fused, after_solo)
+
+        for engine in (fused_engine, solo_engine):
+            for sid in seq_ids:
+                engine.release(sid)
+            audit_engine(engine)
+
+    def test_cow_forked_batchmates(self, model):
+        """A fork and its parent speculate different chunks in one fused call
+        while sharing CoW pages; both match their per-sequence results."""
+        engine = make_engine(model)
+        engine.prefill("parent", np.asarray(prompt_ids(model, 0, 48), dtype=np.int64))
+        engine.fork_sequence("parent", "child")
+        requests = [
+            ("parent", chunk_tokens(model, 1, 4)),
+            ("child", chunk_tokens(model, 2, 6)),
+        ]
+
+        solo = [engine.decode_speculative(sid, toks) for sid, toks in requests]
+        fused = engine.decode_speculative_batch(requests)
+        for (solo_logits, solo_chunk), (fused_logits, fused_chunk) in zip(solo, fused):
+            assert bytes_eq(solo_logits, fused_logits)
+            assert_chunks_identical(solo_chunk, fused_chunk)
+
+        engine.release("child")
+        engine.release("parent")
+        audit_engine(engine)
+
+    def test_verify_oom_fails_atomically_for_named_members_only(self, model):
+        """A member whose chunk cannot be reserved fails the fused call with
+        exactly its seq_id named, nothing mutated; the survivors then verify
+        fine and match their per-sequence results."""
+        engine = make_engine(model, num_pages=10)
+        seq_ids = prefill_seqs(engine, model, [40, 44])
+        before = engine.cache.dense_cache.allocator.num_allocated
+        before_lens = [engine.context_length(s) for s in seq_ids]
+
+        requests = [
+            (seq_ids[0], chunk_tokens(model, 0, 3)),
+            (seq_ids[1], chunk_tokens(model, 1, 64)),  # cannot fit
+        ]
+        with pytest.raises(DecodeOutOfPagesError) as exc_info:
+            engine.decode_speculative_batch(requests)
+        assert list(exc_info.value.failed_seq_ids) == [seq_ids[1]]
+        assert engine.cache.dense_cache.allocator.num_allocated == before
+        assert [engine.context_length(s) for s in seq_ids] == before_lens
+
+        solo_logits, _ = engine.decode_speculative(*requests[0])
+        survivors = engine.decode_speculative_batch([requests[0]])
+        assert bytes_eq(solo_logits, survivors[0][0])
+
+        for sid in seq_ids:
+            engine.release(sid)
+        audit_engine(engine)
+
+    def test_input_validation(self, model):
+        engine = make_engine(model)
+        engine.prefill("a", np.asarray(prompt_ids(model, 0, 40), dtype=np.int64))
+        with pytest.raises(ValueError, match="at least one sequence"):
+            engine.decode_speculative_batch([])
+        with pytest.raises(ValueError, match="duplicate seq_id"):
+            engine.decode_speculative_batch([("a", [1]), ("a", [2])])
+        with pytest.raises(ValueError, match="at least one token"):
+            engine.decode_speculative_batch([("a", [])])
+        with pytest.raises(KeyError, match="ghost"):
+            engine.decode_speculative_batch([("a", [1]), ("ghost", [2])])
+        engine.fork_sequence("a", ("__speculative__", "a"))
+        with pytest.raises(ValueError, match="already active"):
+            engine.decode_speculative_batch([("a", [1])])
+        engine.release(("__speculative__", "a"))
+        engine.release("a")
+        audit_engine(engine)
+
+
+# -- serving level -----------------------------------------------------------------
+
+
+def trace(model, samplings, max_new_tokens=16):
+    """One request per sampling params, staggered arrivals."""
+    return [
+        Request.from_prompt(
+            f"r{i}",
+            prompt_ids(model, i),
+            max_new_tokens=max_new_tokens,
+            sampling=sampling,
+            arrival_time_s=0.001 * i,
+        )
+        for i, sampling in enumerate(samplings)
+    ]
+
+
+def spec_params(k: int, temperature: float = 0.0) -> SamplingParams:
+    return SamplingParams(temperature=temperature, seed=7, speculation_k=k)
+
+
+class _CountingSpecBatch:
+    """Callable shadowing ``backend.decode_speculative_batch`` that counts
+    fused calls and optionally injects a one-member verify-OOM."""
+
+    def __init__(self, backend, fail_seq_at: tuple[object, int] | None = None):
+        self._real = backend.decode_speculative_batch
+        self._fail_seq_at = fail_seq_at
+        self.calls = 0
+
+    def __call__(self, requests):
+        self.calls += 1
+        if self._fail_seq_at is not None:
+            seq_id, at_call = self._fail_seq_at
+            if self.calls == at_call and any(s == seq_id for s, _ in requests):
+                raise DecodeOutOfPagesError([seq_id], 0)
+        return self._real(requests)
+
+
+def run_mode(model, requests, mode, reference=None, split="mixed", fail_seq_at=None):
+    """One serving run; ``mode`` is 'plain', 'fused', or 'unfused'."""
+    backend = LServeBackend(make_engine(model, split))
+    counter = None
+    if mode == "fused":
+        counter = _CountingSpecBatch(backend, fail_seq_at=fail_seq_at)
+        backend.decode_speculative_batch = counter
+    draft = PrerecordedDraft(reference) if mode != "plain" else None
+    engine = ServingEngine(
+        backend, SchedulerConfig(max_batch_size=4), draft_source=draft
+    )
+    if mode == "unfused":
+        engine._backend_spec_batch = None  # per-sequence reference path
+    engine.run(list(requests))
+    outputs = {
+        r.request_id: list(engine.handle(r.request_id).output_tokens)
+        for r in requests
+    }
+    if engine.backend.engine.cache.dense_cache is not None:
+        assert_no_leaked_pages(
+            engine.backend.engine.cache.dense_cache.allocator, backend=engine.backend
+        )
+    else:
+        assert engine.backend.kv_tokens_in_use() == 0
+    return engine, outputs, counter
+
+
+K_PARAMS = [
+    pytest.param(1),
+    pytest.param(3),
+    pytest.param(5, marks=pytest.mark.slow),
+    pytest.param(7, marks=pytest.mark.slow),
+]
+
+
+class TestFusedServingDifferential:
+    """ServingEngine's fused step path vs per-sequence path vs plain decode."""
+
+    @pytest.mark.parametrize("k", K_PARAMS)
+    @pytest.mark.parametrize("temperature", [0.0, 0.8])
+    def test_all_spec_batch_byte_identical(self, model, k, temperature):
+        plain_reqs = trace(model, [spec_params(0, temperature)] * 3)
+        _, reference, _ = run_mode(model, plain_reqs, "plain")
+
+        spec_reqs = trace(model, [spec_params(k, temperature)] * 3)
+        fused_engine, fused_out, counter = run_mode(
+            model, spec_reqs, "fused", reference
+        )
+        _, unfused_out, _ = run_mode(model, spec_reqs, "unfused", reference)
+
+        assert counter.calls > 0, "fused path never engaged"
+        assert fused_out == reference
+        assert unfused_out == reference
+        assert fused_engine.draft_tokens_accepted > 0
+
+    @pytest.mark.parametrize("split", HEAD_SPLIT_PARAMS)
+    def test_head_splits_byte_identical(self, model, split):
+        plain_reqs = trace(model, [spec_params(0)] * 3)
+        _, reference, _ = run_mode(model, plain_reqs, "plain", split=split)
+
+        spec_reqs = trace(model, [spec_params(4)] * 3)
+        _, fused_out, counter = run_mode(
+            model, spec_reqs, "fused", reference, split=split
+        )
+        assert counter.calls > 0
+        assert fused_out == reference
+
+    @pytest.mark.parametrize(
+        "ks",
+        [
+            pytest.param((4, 0, 4), id="spec-plain-spec"),
+            pytest.param((0, 3, 5), id="plain-mixed-k"),
+            pytest.param((4, 0, 0), id="single-spec"),
+            pytest.param((1, 7, 3), marks=pytest.mark.slow, id="all-spec-ragged-k"),
+        ],
+    )
+    def test_spec_plain_mix_compositions(self, model, ks):
+        """Speculating members ride the fused call, plain members ride
+        decode_batch, in the same step — outputs stay byte-identical."""
+        plain_reqs = trace(model, [spec_params(0)] * len(ks))
+        _, reference, _ = run_mode(model, plain_reqs, "plain")
+
+        spec_reqs = trace(model, [spec_params(k) for k in ks])
+        fused_engine, fused_out, counter = run_mode(model, spec_reqs, "fused", reference)
+        assert fused_out == reference
+        n_spec = sum(1 for k in ks if k > 0)
+        if n_spec >= 2:
+            assert counter.calls > 0
+        else:
+            # A lone speculating member rides the per-sequence path.
+            assert counter.calls == 0
+        spec_ids = {f"r{i}" for i, k in enumerate(ks) if k > 0}
+        logged = {
+            e.split(":")[1]
+            for e in fused_engine.decision_log
+            if e.startswith("spec:")
+        }
+        assert logged == spec_ids
+
+    def test_mid_run_verify_oom_on_one_member(self, model):
+        """An injected verify-OOM naming one member mid-run: that member
+        falls back to a plain step, the survivors retry fused, and the final
+        streams stay byte-identical with zero leaked pages."""
+        plain_reqs = trace(model, [spec_params(0)] * 3)
+        _, reference, _ = run_mode(model, plain_reqs, "plain")
+
+        spec_reqs = trace(model, [spec_params(4)] * 3)
+        _, fused_out, counter = run_mode(
+            model, spec_reqs, "fused", reference, fail_seq_at=("r1", 2)
+        )
+        assert fused_out == reference
+        assert counter.calls >= 3  # the failed call, its retry, later steps
+
+    def test_fused_and_unfused_bill_identical_token_streams(self, model):
+        """The fused path changes *when* work is billed, never *what* tokens
+        emit: per-request emission order in the decision log matches."""
+        plain_reqs = trace(model, [spec_params(0)] * 3)
+        _, reference, _ = run_mode(model, plain_reqs, "plain")
+        spec_reqs = trace(model, [spec_params(3)] * 3)
+        fused_engine, _, _ = run_mode(model, spec_reqs, "fused", reference)
+        unfused_engine, _, _ = run_mode(model, spec_reqs, "unfused", reference)
+        fused_spec = [e for e in fused_engine.decision_log if e.startswith("spec:")]
+        unfused_spec = [e for e in unfused_engine.decision_log if e.startswith("spec:")]
+        assert fused_spec == unfused_spec
